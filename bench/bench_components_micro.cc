@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks for the toolchain itself: annotation and
+// compilation throughput, replay-engine overhead, and storage-model costs.
+// These are not paper figures; they document the cost of using ARTC.
+#include <benchmark/benchmark.h>
+
+#include "src/core/artc.h"
+#include "src/core/compiler.h"
+#include "src/fsmodel/resource_model.h"
+#include "src/storage/hdd_model.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/workload.h"
+
+namespace artc {
+namespace {
+
+const workloads::TracedRun& SharedTrace() {
+  static const workloads::TracedRun* kRun = [] {
+    workloads::RandomReaders::Options opt;
+    opt.threads = 4;
+    opt.reads_per_thread = 500;
+    opt.file_bytes = 256ULL << 20;
+    workloads::RandomReaders w(opt);
+    workloads::SourceConfig src;
+    src.storage = storage::MakeNamedConfig("ssd");
+    return new workloads::TracedRun(TraceWorkload(w, src));
+  }();
+  return *kRun;
+}
+
+void BM_AnnotateTrace(benchmark::State& state) {
+  const workloads::TracedRun& run = SharedTrace();
+  for (auto _ : state) {
+    auto ann = fsmodel::AnnotateTrace(run.trace, run.snapshot);
+    benchmark::DoNotOptimize(ann.resources.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(run.trace.events.size()));
+}
+BENCHMARK(BM_AnnotateTrace);
+
+void BM_CompileArtc(benchmark::State& state) {
+  const workloads::TracedRun& run = SharedTrace();
+  for (auto _ : state) {
+    core::CompiledBenchmark bench = core::Compile(run.trace, run.snapshot, {});
+    benchmark::DoNotOptimize(bench.edge_stats.TotalEdges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(run.trace.events.size()));
+}
+BENCHMARK(BM_CompileArtc);
+
+void BM_SimReplayEndToEnd(benchmark::State& state) {
+  const workloads::TracedRun& run = SharedTrace();
+  core::CompiledBenchmark bench = core::Compile(run.trace, run.snapshot, {});
+  for (auto _ : state) {
+    core::SimTarget target;
+    target.storage = storage::MakeNamedConfig("ssd");
+    core::SimReplayResult res = core::ReplayCompiledOnSimTarget(bench, target);
+    benchmark::DoNotOptimize(res.report.wall_time);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(run.trace.events.size()));
+}
+BENCHMARK(BM_SimReplayEndToEnd);
+
+void BM_HddServiceTime(benchmark::State& state) {
+  sim::Simulation sim(1);
+  storage::HddModel hdd(&sim, storage::HddParams{});
+  uint64_t lba = 0;
+  for (auto _ : state) {
+    lba = (lba + 997 * 4096) % (400ULL << 20);
+    benchmark::DoNotOptimize(hdd.ServiceTime(0, 0, lba, 8));
+  }
+}
+BENCHMARK(BM_HddServiceTime);
+
+void BM_TraceWorkload(benchmark::State& state) {
+  for (auto _ : state) {
+    workloads::RandomReaders::Options opt;
+    opt.threads = 2;
+    opt.reads_per_thread = 200;
+    opt.file_bytes = 64ULL << 20;
+    workloads::RandomReaders w(opt);
+    workloads::SourceConfig src;
+    src.storage = storage::MakeNamedConfig("ssd");
+    workloads::TracedRun run = TraceWorkload(w, src);
+    benchmark::DoNotOptimize(run.trace.events.size());
+  }
+}
+BENCHMARK(BM_TraceWorkload)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace artc
+
+BENCHMARK_MAIN();

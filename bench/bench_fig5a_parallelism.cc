@@ -1,0 +1,58 @@
+// Fig. 5(a): workload parallelism. A program with N threads, each reading
+// 1000 random 4 KB blocks from its own 1 GB file, is traced and replayed at
+// N = 1, 2, 8. Deeper queues let the disk schedule better, so the original
+// scales sub-linearly; single-threaded and temporally-ordered replays cannot
+// exploit that flexibility and overestimate elapsed time, ARTC tracks it.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/micro.h"
+
+namespace artc {
+namespace {
+
+using bench::PctError;
+using bench::PrintHeader;
+using bench::ReplayWithMethod;
+using core::ReplayMethod;
+using core::SimTarget;
+using workloads::RandomReaders;
+using workloads::SourceConfig;
+using workloads::TracedRun;
+
+}  // namespace
+
+int Main() {
+  PrintHeader("Fig 5(a): workload parallelism (random 4KB reads, private files, HDD)");
+  std::printf("%-8s %10s %12s %12s %12s\n", "threads", "orig(s)", "single", "temporal",
+              "artc");
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    RandomReaders::Options opt;
+    opt.threads = threads;
+    opt.reads_per_thread = 1000;
+    opt.file_bytes = 1ULL << 30;
+    RandomReaders w(opt);
+    SourceConfig src;
+    src.storage = storage::MakeNamedConfig("hdd");
+    TracedRun run = TraceWorkload(w, src);
+
+    SimTarget target;
+    target.storage = storage::MakeNamedConfig("hdd");
+    TimeNs single =
+        ReplayWithMethod(run, ReplayMethod::kSingleThreaded, target).report.wall_time;
+    TimeNs temporal =
+        ReplayWithMethod(run, ReplayMethod::kTemporal, target).report.wall_time;
+    TimeNs artc = ReplayWithMethod(run, ReplayMethod::kArtc, target).report.wall_time;
+    std::printf("%-8u %9.1fs %+11.1f%% %+11.1f%% %+11.1f%%\n", threads,
+                ToSeconds(run.elapsed), PctError(single, run.elapsed),
+                PctError(temporal, run.elapsed), PctError(artc, run.elapsed));
+  }
+  std::printf("Paper shape: original scales sub-linearly with threads; at 8 threads the "
+              "simple methods overestimate (paper: +57%% / +33%%), ARTC stays small "
+              "(paper: 5%%).\n");
+  return 0;
+}
+
+}  // namespace artc
+
+int main() { return artc::Main(); }

@@ -1,0 +1,77 @@
+// Fig. 5(c): cache size. Thread 1 sequentially reads its entire file before
+// entering its random-read loop; thread 2 random-reads its own file
+// throughout. Traced with a large cache and replayed with a small one (and
+// vice versa): with the large cache thread 1's random reads are hits and
+// finish long before thread 2's, so simple replays serialize the phases and
+// cannot exploit the RAID when those reads become misses on the small-cache
+// target.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/workloads/micro.h"
+
+namespace artc {
+namespace {
+
+using bench::PctError;
+using bench::PrintHeader;
+using bench::ReplayWithMethod;
+using core::ReplayMethod;
+using core::SimTarget;
+using workloads::CacheWarmReaders;
+using workloads::SourceConfig;
+using workloads::TracedRun;
+
+// The paper pinned memory to shrink a 4 GB cache to 1.5 GB so that thread
+// 1's file no longer fits. Scaled down for speed: the big cache (1.25 GB)
+// holds both 512 MB files; the small cache (96 MB) holds almost nothing,
+// with two 512 MB files on a 2-disk RAID-0.
+storage::StorageConfig CacheConfig(bool big) {
+  storage::StorageConfig cfg = storage::MakeNamedConfig("raid0");
+  cfg.cache.capacity_blocks = big ? 327680 : 24576;
+  cfg.name = big ? "big-cache" : "small-cache";
+  return cfg;
+}
+
+void RunDirection(bool source_big) {
+  CacheWarmReaders::Options opt;
+  CacheWarmReaders w(opt);
+  SourceConfig src;
+  src.storage = CacheConfig(source_big);
+  TracedRun run = TraceWorkload(w, src);
+
+  SourceConfig tgt_cfg;
+  tgt_cfg.storage = CacheConfig(!source_big);
+  CacheWarmReaders w2(opt);
+  TimeNs orig = workloads::MeasureWorkload(w2, tgt_cfg);
+
+  SimTarget target;
+  target.storage = CacheConfig(!source_big);
+  TimeNs single =
+      ReplayWithMethod(run, ReplayMethod::kSingleThreaded, target).report.wall_time;
+  TimeNs temporal =
+      ReplayWithMethod(run, ReplayMethod::kTemporal, target).report.wall_time;
+  TimeNs artc = ReplayWithMethod(run, ReplayMethod::kArtc, target).report.wall_time;
+  std::printf("%-12s -> %-12s %9.1fs %+11.1f%% %+11.1f%% %+11.1f%%\n",
+              source_big ? "big-cache" : "small-cache",
+              source_big ? "small-cache" : "big-cache", ToSeconds(orig),
+              PctError(single, orig), PctError(temporal, orig), PctError(artc, orig));
+}
+
+}  // namespace
+
+int Main() {
+  PrintHeader("Fig 5(c): cache size feedback (warm-up reader + cold reader, RAID-0)");
+  std::printf("%-28s %10s %12s %12s %12s\n", "source->target", "orig(s)", "single",
+              "temporal", "artc");
+  RunDirection(/*source_big=*/true);
+  RunDirection(/*source_big=*/false);
+  std::printf("Paper shape: simple methods ~accurate replaying the small-cache trace on "
+              "the big cache but ~+33%% in the other direction; ARTC accurate both "
+              "ways.\n");
+  return 0;
+}
+
+}  // namespace artc
+
+int main() { return artc::Main(); }

@@ -1,0 +1,153 @@
+// artc_compile: command-line trace compiler. Reads a trace (native or
+// strace format) and a snapshot file, compiles it with the chosen replay
+// method/modes, and prints the benchmark statistics — dependency edges per
+// rule, fd/aio slot counts, model warnings. Optionally replays it on a
+// named simulated target.
+//
+// Usage:
+//   artc_compile --trace t.artc [--strace] [--snapshot s.snap]
+//                [--method artc|single|temporal|unconstrained]
+//                [--no-file-seq] [--no-path-order] [--no-fd-stage] [--fd-seq]
+//                [--replay-on hdd|raid0|ssd|smallcache|cfq-1ms|cfq-100ms]
+//                [--fs ext4|ext3|jfs|xfs] [--natural]
+//                [--save out.artcb]
+//   artc_compile --load bench.artcb [--replay-on ...]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/artc.h"
+#include "src/core/serialize.h"
+#include "src/trace/strace_parser.h"
+#include "src/trace/trace_io.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: artc_compile --trace FILE [--strace] [--snapshot FILE]\n"
+               "                    [--method artc|single|temporal|unconstrained]\n"
+               "                    [--no-file-seq] [--no-path-order] [--no-fd-stage]\n"
+               "                    [--fd-seq] [--replay-on CONFIG] [--fs PROFILE]\n"
+               "                    [--natural]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string snapshot_path;
+  std::string replay_on;
+  std::string save_path;
+  std::string load_path;
+  std::string fs_profile = "ext4";
+  bool strace_format = false;
+  bool natural = false;
+  artc::core::CompileOptions copt;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--snapshot") {
+      snapshot_path = next();
+    } else if (arg == "--strace") {
+      strace_format = true;
+    } else if (arg == "--method") {
+      copt.method = artc::core::ReplayMethodFromName(next());
+    } else if (arg == "--no-file-seq") {
+      copt.modes.file_seq = false;
+    } else if (arg == "--no-path-order") {
+      copt.modes.path_stage_name = false;
+    } else if (arg == "--no-fd-stage") {
+      copt.modes.fd_stage = false;
+    } else if (arg == "--fd-seq") {
+      copt.modes.fd_seq = true;
+    } else if (arg == "--replay-on") {
+      replay_on = next();
+    } else if (arg == "--fs") {
+      fs_profile = next();
+    } else if (arg == "--natural") {
+      natural = true;
+    } else if (arg == "--save") {
+      save_path = next();
+    } else if (arg == "--load") {
+      load_path = next();
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (trace_path.empty() && load_path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  artc::trace::Trace t;
+  if (!load_path.empty()) {
+    // Benchmark comes from the .artcb file; no trace to parse.
+  } else if (strace_format) {
+    artc::trace::StraceParseResult parsed = artc::trace::ParseStraceFile(trace_path);
+    if (parsed.skipped_lines > 0) {
+      std::fprintf(stderr, "warning: skipped %llu lines (first: %s)\n",
+                   static_cast<unsigned long long>(parsed.skipped_lines),
+                   parsed.first_error.c_str());
+    }
+    t = std::move(parsed.trace);
+    t.SortByEnterTime();
+  } else {
+    t = artc::trace::ReadTraceFile(trace_path);
+  }
+  artc::trace::FsSnapshot snapshot;
+  if (!snapshot_path.empty()) {
+    snapshot = artc::trace::ReadSnapshotFile(snapshot_path);
+  }
+
+  artc::core::CompiledBenchmark bench;
+  if (!load_path.empty()) {
+    bench = artc::core::ReadBenchmarkFile(load_path);
+  } else {
+    bench = artc::core::Compile(t, snapshot, copt);
+  }
+  if (!save_path.empty()) {
+    artc::core::WriteBenchmarkFile(bench, save_path);
+    std::printf("wrote %s\n", save_path.c_str());
+  }
+  std::printf("trace: %zu events, %zu threads\n", bench.actions.size(),
+              bench.thread_actions.size());
+  std::printf("slots: %u fd, %u aio; model warnings: %llu\n", bench.fd_slot_count,
+              bench.aio_slot_count,
+              static_cast<unsigned long long>(bench.model_warnings));
+  std::printf("dependency edges by rule:\n");
+  for (size_t r = 0; r < bench.edge_stats.count_by_rule.size(); ++r) {
+    uint64_t n = bench.edge_stats.count_by_rule[r];
+    if (n == 0) {
+      continue;
+    }
+    std::printf("  %-12s %10llu  (mean length %.3f ms)\n",
+                artc::core::RuleTagName(static_cast<artc::core::RuleTag>(r)),
+                static_cast<unsigned long long>(n),
+                bench.edge_stats.total_length_ns[r] / static_cast<double>(n) / 1e6);
+  }
+
+  if (!replay_on.empty()) {
+    artc::core::SimTarget target;
+    target.storage = artc::storage::MakeNamedConfig(replay_on);
+    target.fs_profile = fs_profile;
+    if (natural) {
+      target.replay.pacing = artc::core::PacingMode::kNatural;
+    }
+    artc::core::SimReplayResult res =
+        artc::core::ReplayCompiledOnSimTarget(bench, target);
+    std::printf("replay on %s/%s: %s\n", replay_on.c_str(), fs_profile.c_str(),
+                res.report.Summary().c_str());
+  }
+  return 0;
+}

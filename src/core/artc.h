@@ -1,0 +1,64 @@
+// High-level ARTC facade: one-call compile + initialize + replay against a
+// simulated storage target. This is the public API the benchmark harnesses
+// and examples use; the individual pieces (Compile, Replay, SimReplayEnv)
+// remain available for finer control.
+#ifndef SRC_CORE_ARTC_H_
+#define SRC_CORE_ARTC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/emulation.h"
+#include "src/core/replay_engine.h"
+#include "src/core/report.h"
+#include "src/storage/storage_stack.h"
+#include "src/vfs/vfs.h"
+
+namespace artc::core {
+
+// Describes a simulated replay target: storage hardware, file system, OS
+// personality, and replay behaviour.
+struct SimTarget {
+  storage::StorageConfig storage = storage::MakeNamedConfig("hdd");
+  std::string fs_profile = "ext4";
+  std::string platform = "linux";
+  EmulationPolicy emulation;
+  ReplayOptions replay;     // pacing
+  uint64_t seed = 1;        // simulated-scheduler seed
+  bool drop_caches_after_init = true;
+  bool delta_init = false;
+};
+
+struct SimReplayResult {
+  ReplayReport report;
+  EdgeStats edge_stats;
+  uint64_t model_warnings = 0;
+};
+
+// Compiles the trace under `options` and replays it on the simulated target.
+SimReplayResult ReplayOnSimTarget(const trace::Trace& t,
+                                  const trace::FsSnapshot& snapshot,
+                                  const CompileOptions& options, const SimTarget& target);
+
+// Convenience: replays a pre-compiled benchmark (used when comparing several
+// targets without recompiling).
+SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
+                                          const SimTarget& target);
+
+// Replays several compiled benchmarks *concurrently* on one simulated
+// target: their snapshots are overlaid into a single tree and each
+// benchmark's replay threads run side by side — the paper's multi-trace
+// mode ("a workload similar to a user browsing photos in iPhoto while
+// listening to music in iTunes", Sec. 4.3.2). Returns one report per
+// benchmark plus the combined wall time.
+struct MultiReplayResult {
+  std::vector<ReplayReport> reports;  // parallel to the input benchmarks
+  TimeNs wall_time = 0;
+};
+MultiReplayResult ReplayConcurrentlyOnSimTarget(
+    const std::vector<const CompiledBenchmark*>& benches, const SimTarget& target);
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_ARTC_H_

@@ -1,0 +1,73 @@
+// The compiled benchmark: the output of the ARTC compiler and the input of
+// the replayer (paper Sec. 4.3.1). Conceptually this plays the role of the
+// generated-C-plus-shared-library artifact in the original system: static
+// tables of actions, resources (fd/aio remap slots), and dependencies.
+#ifndef SRC_CORE_COMPILED_H_
+#define SRC_CORE_COMPILED_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/modes.h"
+#include "src/trace/event.h"
+#include "src/trace/snapshot.h"
+
+namespace artc::core {
+
+inline constexpr uint32_t kNoEvent = UINT32_MAX;
+
+enum class DepKind : uint8_t {
+  kCompletion,  // dependency must have finished replaying
+  kIssue,       // dependency must have been issued
+};
+
+struct Dep {
+  uint32_t event;   // trace index of the prerequisite action
+  DepKind kind;
+  RuleTag rule;     // which ordering rule produced this edge (stats)
+};
+
+struct CompiledAction {
+  trace::TraceEvent ev;        // original event: args + expected outcome
+  uint32_t thread_index = 0;   // dense replay-thread index
+  // File-descriptor remapping (Sec. 4.2: fd names are remapped through a
+  // table so generations that reused a number can coexist): slot to *read*
+  // the runtime fd from, and slot to *store* a newly created fd into.
+  int32_t fd_use_slot = -1;
+  int32_t fd_def_slot = -1;
+  // AIO handle remapping, same scheme.
+  int32_t aio_use_slot = -1;
+  int32_t aio_def_slot = -1;
+  // Time between this action's issue and the return of the previous action
+  // on the same thread in the original trace — the paper's "predelay".
+  TimeNs predelay = 0;
+  std::vector<Dep> deps;
+};
+
+struct EdgeStats {
+  std::array<uint64_t, static_cast<size_t>(RuleTag::kCount)> count_by_rule{};
+  std::array<double, static_cast<size_t>(RuleTag::kCount)> total_length_ns{};
+  uint64_t TotalEdges() const;
+  double MeanLengthNs() const;  // across all rules
+};
+
+struct CompiledBenchmark {
+  ReplayMethod method = ReplayMethod::kArtc;
+  ReplayModes modes;
+  std::vector<CompiledAction> actions;          // indexed by trace order
+  std::vector<std::vector<uint32_t>> thread_actions;  // per replay thread
+  std::vector<uint32_t> thread_ids;             // original tid per replay thread
+  uint32_t fd_slot_count = 0;
+  uint32_t aio_slot_count = 0;
+  trace::FsSnapshot snapshot;
+  EdgeStats edge_stats;
+  uint64_t model_warnings = 0;
+
+  size_t size() const { return actions.size(); }
+};
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_COMPILED_H_

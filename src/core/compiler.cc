@@ -1,0 +1,388 @@
+#include "src/core/compiler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/fsmodel/resource_model.h"
+#include "src/util/check.h"
+
+namespace artc::core {
+namespace {
+
+using fsmodel::Access;
+using fsmodel::AnnotatedTrace;
+using fsmodel::kNoResource;
+using fsmodel::ResourceKind;
+
+// Per-resource scan state (the paper's "last action / creating action /
+// remaining uses" bookkeeping).
+struct Cursor {
+  uint32_t create_event = kNoEvent;
+  uint32_t last_event = kNoEvent;
+  // Last use per replay thread since create (a delete must wait for every
+  // outstanding use, but one completion-dep per thread suffices: each
+  // thread's later use subsumes its earlier ones).
+  std::vector<std::pair<uint32_t, uint32_t>> last_use_by_thread;
+  // Threads that already hold a dep on create_event (a second dep from the
+  // same thread is transitively implied by thread ordering).
+  std::vector<uint32_t> create_waiters;
+  bool touched = false;
+};
+
+class DepBuilder {
+ public:
+  DepBuilder(const trace::Trace& t, const AnnotatedTrace& annotated,
+             CompiledBenchmark* out)
+      : trace_(t), ann_(annotated), out_(out) {
+    cursors_.resize(ann_.resources.size());
+  }
+
+  void EmitArtcDeps(const ReplayModes& modes) {
+    for (const trace::TraceEvent& ev : trace_.events) {
+      cur_event_ = ev.index;
+      cur_deps_ = &out_->actions[ev.index].deps;
+      for (const fsmodel::Touch& touch : ann_.touches[ev.index]) {
+        const fsmodel::ResourceInfo& res = ann_.resources[touch.resource];
+        Cursor& c = cursors_[touch.resource];
+        switch (res.kind) {
+          case ResourceKind::kFile:
+            if (modes.file_seq) {
+              Sequential(c, RuleTag::kFileSeq);
+            }
+            break;
+          case ResourceKind::kPath:
+            if (modes.path_stage_name) {
+              NameOrdering(res, c);
+              Stage(c, touch.access, RuleTag::kPathStage);
+            }
+            break;
+          case ResourceKind::kFd:
+            if (modes.fd_seq) {
+              Sequential(c, RuleTag::kFdSeq);
+            } else if (modes.fd_stage) {
+              Stage(c, touch.access, RuleTag::kFdStage);
+            }
+            break;
+          case ResourceKind::kAiocb:
+            if (modes.aio_stage) {
+              Stage(c, touch.access, RuleTag::kAioStage);
+            }
+            break;
+          case ResourceKind::kThread:
+            // Structural (each replay thread plays its actions in order);
+            // counted for edge statistics without materialising a dep.
+            if (c.touched && c.last_event != kNoEvent) {
+              CountEdge(RuleTag::kThreadSeq, c.last_event);
+            }
+            break;
+          case ResourceKind::kProgram:
+            break;
+        }
+        Update(c, touch.access);
+      }
+      FinishEvent();
+    }
+  }
+
+  void EmitTemporalDeps() {
+    for (const trace::TraceEvent& ev : trace_.events) {
+      cur_event_ = ev.index;
+      cur_deps_ = &out_->actions[ev.index].deps;
+      if (ev.index > 0) {
+        uint32_t prev = static_cast<uint32_t>(ev.index - 1);
+        AddDep(prev, DepKind::kIssue, RuleTag::kTemporal);
+      }
+      FinishEvent();
+    }
+  }
+
+ private:
+  void Sequential(Cursor& c, RuleTag rule) {
+    if (c.touched && c.last_event != kNoEvent && c.last_event != cur_event_) {
+      AddDep(c.last_event, DepKind::kCompletion, rule);
+    }
+  }
+
+  void Stage(Cursor& c, Access access, RuleTag rule) {
+    if (access != Access::kCreate && c.create_event != kNoEvent &&
+        c.create_event != cur_event_) {
+      uint32_t thread = ThreadOf(cur_event_);
+      bool seen = false;
+      for (uint32_t t : c.create_waiters) {
+        if (t == thread) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        AddDep(c.create_event, DepKind::kCompletion, rule);
+        c.create_waiters.push_back(thread);
+      }
+    }
+    if (access == Access::kDelete) {
+      for (const auto& [thread, use] : c.last_use_by_thread) {
+        if (use != cur_event_) {
+          AddDep(use, DepKind::kCompletion, rule);
+        }
+      }
+    }
+  }
+
+  void NameOrdering(const fsmodel::ResourceInfo& res, const Cursor& c) {
+    if (c.touched || res.prev_generation == kNoResource) {
+      return;  // only the first action of a generation gets the edge
+    }
+    const Cursor& prev = cursors_[res.prev_generation];
+    if (prev.last_event != kNoEvent && prev.last_event != cur_event_) {
+      AddDep(prev.last_event, DepKind::kCompletion, RuleTag::kPathName);
+    }
+  }
+
+  void Update(Cursor& c, Access access) {
+    c.touched = true;
+    switch (access) {
+      case Access::kCreate:
+        c.create_event = cur_event_;
+        c.last_use_by_thread.clear();
+        c.create_waiters.clear();
+        break;
+      case Access::kUse: {
+        uint32_t thread = ThreadOf(cur_event_);
+        bool found = false;
+        for (auto& [t, use] : c.last_use_by_thread) {
+          if (t == thread) {
+            use = cur_event_;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          c.last_use_by_thread.push_back({thread, cur_event_});
+        }
+        break;
+      }
+      case Access::kDelete:
+        break;
+    }
+    c.last_event = cur_event_;
+  }
+
+  uint32_t ThreadOf(uint32_t event) const {
+    return out_->actions[event].thread_index;
+  }
+
+  void AddDep(uint32_t dep_event, DepKind kind, RuleTag rule) {
+    ARTC_CHECK(dep_event < cur_event_);
+    // A completion-dep on an earlier action of the same replay thread is
+    // enforced structurally (threads play their actions in order): skip it.
+    // Temporal issue-order deps are kept as-is.
+    if (kind == DepKind::kCompletion && rule != RuleTag::kTemporal &&
+        ThreadOf(dep_event) == ThreadOf(cur_event_)) {
+      return;
+    }
+    // Dedup within the event; keep the stronger kind on collision.
+    for (Dep& d : *cur_deps_) {
+      if (d.event == dep_event) {
+        if (kind == DepKind::kCompletion && d.kind == DepKind::kIssue) {
+          d.kind = kind;
+        }
+        return;
+      }
+    }
+    cur_deps_->push_back({dep_event, kind, rule});
+    CountEdge(rule, dep_event);
+  }
+
+  void CountEdge(RuleTag rule, uint32_t dep_event) {
+    size_t idx = static_cast<size_t>(rule);
+    out_->edge_stats.count_by_rule[idx]++;
+    // Edge length: time between the two actions in the original trace.
+    TimeNs len = trace_.events[cur_event_].enter - trace_.events[dep_event].enter;
+    out_->edge_stats.total_length_ns[idx] += static_cast<double>(len);
+  }
+
+  void FinishEvent() {
+    // Drop the dep on the immediate same-thread predecessor: thread order
+    // already enforces it structurally.
+    uint32_t prev_same_thread = prev_in_thread_;
+    (void)prev_same_thread;
+    std::sort(cur_deps_->begin(), cur_deps_->end(),
+              [](const Dep& a, const Dep& b) { return a.event < b.event; });
+  }
+
+  const trace::Trace& trace_;
+  const AnnotatedTrace& ann_;
+  CompiledBenchmark* out_;
+  std::vector<Cursor> cursors_;
+  uint32_t cur_event_ = 0;
+  uint32_t prev_in_thread_ = kNoEvent;
+  std::vector<Dep>* cur_deps_ = nullptr;
+};
+
+}  // namespace
+
+uint64_t EdgeStats::TotalEdges() const {
+  uint64_t n = 0;
+  for (uint64_t c : count_by_rule) {
+    n += c;
+  }
+  return n;
+}
+
+double EdgeStats::MeanLengthNs() const {
+  uint64_t n = 0;
+  double total = 0;
+  for (size_t i = 0; i < count_by_rule.size(); ++i) {
+    n += count_by_rule[i];
+    total += total_length_ns[i];
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+                          const CompileOptions& options) {
+  CompiledBenchmark bench;
+  bench.method = options.method;
+  bench.modes = options.modes;
+  bench.snapshot = snapshot;
+
+  fsmodel::AnnotatedTrace ann = fsmodel::AnnotateTrace(t, snapshot);
+  bench.model_warnings = ann.warnings;
+
+  // Assign fd/aio remap slots: one per generation resource.
+  std::unordered_map<uint32_t, int32_t> fd_slots;
+  std::unordered_map<uint32_t, int32_t> aio_slots;
+  for (uint32_t r = 0; r < ann.resources.size(); ++r) {
+    if (ann.resources[r].kind == fsmodel::ResourceKind::kFd) {
+      fd_slots[r] = static_cast<int32_t>(bench.fd_slot_count++);
+    } else if (ann.resources[r].kind == fsmodel::ResourceKind::kAiocb) {
+      aio_slots[r] = static_cast<int32_t>(bench.aio_slot_count++);
+    }
+  }
+
+  // Dense replay threads.
+  std::unordered_map<uint32_t, uint32_t> thread_index;
+  bool single = options.method == ReplayMethod::kSingleThreaded;
+  if (single) {
+    bench.thread_ids.push_back(0);
+    bench.thread_actions.emplace_back();
+  }
+
+  bench.actions.resize(t.events.size());
+  std::vector<TimeNs> last_ret_by_thread;
+  TimeNs trace_start = t.events.empty() ? 0 : t.events.front().enter;
+  for (const trace::TraceEvent& ev : t.events) {
+    CompiledAction& a = bench.actions[ev.index];
+    a.ev = ev;
+    uint32_t ti;
+    if (single) {
+      ti = 0;
+    } else {
+      auto it = thread_index.find(ev.tid);
+      if (it == thread_index.end()) {
+        ti = static_cast<uint32_t>(bench.thread_ids.size());
+        thread_index[ev.tid] = ti;
+        bench.thread_ids.push_back(ev.tid);
+        bench.thread_actions.emplace_back();
+      } else {
+        ti = it->second;
+      }
+    }
+    a.thread_index = ti;
+    bench.thread_actions[ti].push_back(static_cast<uint32_t>(ev.index));
+    if (last_ret_by_thread.size() <= ti) {
+      last_ret_by_thread.resize(ti + 1, trace_start);
+    }
+    a.predelay = std::max<TimeNs>(0, ev.enter - last_ret_by_thread[ti]);
+    last_ret_by_thread[ti] = ev.ret_time;
+
+    // Slot wiring from the annotation.
+    for (const fsmodel::Touch& touch : ann.touches[ev.index]) {
+      const fsmodel::ResourceInfo& res = ann.resources[touch.resource];
+      if (res.kind == fsmodel::ResourceKind::kFd) {
+        if (touch.access == fsmodel::Access::kCreate) {
+          a.fd_def_slot = fd_slots[touch.resource];
+        } else if (a.fd_use_slot < 0) {
+          a.fd_use_slot = fd_slots[touch.resource];
+        }
+      } else if (res.kind == fsmodel::ResourceKind::kAiocb) {
+        if (touch.access == fsmodel::Access::kCreate) {
+          a.aio_def_slot = aio_slots[touch.resource];
+        } else if (a.aio_use_slot < 0) {
+          a.aio_use_slot = aio_slots[touch.resource];
+        }
+      }
+    }
+  }
+
+  DepBuilder builder(t, ann, &bench);
+  switch (options.method) {
+    case ReplayMethod::kArtc:
+      builder.EmitArtcDeps(options.modes);
+      break;
+    case ReplayMethod::kTemporal:
+      builder.EmitTemporalDeps();
+      break;
+    case ReplayMethod::kSingleThreaded:
+    case ReplayMethod::kUnconstrained:
+      break;  // structural only
+  }
+
+  if (options.method == ReplayMethod::kTemporal) {
+    // Issue ordering alone does not guarantee that the open defining a
+    // cross-thread descriptor has *completed* (and therefore filled the
+    // remap slot) before a use on another thread executes. Add the minimal
+    // infrastructure deps so the temporal baseline is runnable, as in the
+    // paper (its temporal failure counts match ARTC's). These are not
+    // counted as ordering edges.
+    std::vector<uint32_t> fd_def_event(bench.fd_slot_count, kNoEvent);
+    std::vector<uint32_t> aio_def_event(bench.aio_slot_count, kNoEvent);
+    for (const CompiledAction& a : bench.actions) {
+      if (a.fd_def_slot >= 0) {
+        fd_def_event[static_cast<size_t>(a.fd_def_slot)] = static_cast<uint32_t>(a.ev.index);
+      }
+      if (a.aio_def_slot >= 0) {
+        aio_def_event[static_cast<size_t>(a.aio_def_slot)] =
+            static_cast<uint32_t>(a.ev.index);
+      }
+    }
+    for (CompiledAction& a : bench.actions) {
+      auto add_def_dep = [&a, &bench](uint32_t def) {
+        if (def == kNoEvent || def >= a.ev.index ||
+            bench.actions[def].thread_index == a.thread_index) {
+          return;
+        }
+        for (Dep& d : a.deps) {
+          if (d.event == def) {
+            d.kind = DepKind::kCompletion;
+            return;
+          }
+        }
+        a.deps.push_back({def, DepKind::kCompletion, RuleTag::kTemporal});
+      };
+      if (a.fd_use_slot >= 0) {
+        add_def_dep(fd_def_event[static_cast<size_t>(a.fd_use_slot)]);
+      }
+      if (a.aio_use_slot >= 0) {
+        add_def_dep(aio_def_event[static_cast<size_t>(a.aio_use_slot)]);
+      }
+    }
+  }
+
+  // Predelay is the interval between an action's issue and the moment its
+  // inferred constraints were satisfied in the original execution (paper
+  // Sec. 4.3.3): the latest of the same-thread predecessor's return and the
+  // dependencies' returns. Computing it against the thread gap alone would
+  // charge idle phases (e.g., a coordinator thread joining its workers) as
+  // compute and replay them as sleeps.
+  for (CompiledAction& a : bench.actions) {
+    TimeNs base = a.ev.enter - a.predelay;  // same-thread predecessor return
+    for (const Dep& d : a.deps) {
+      base = std::max(base, t.events[d.event].ret_time);
+    }
+    a.predelay = std::max<TimeNs>(0, a.ev.enter - base);
+  }
+  return bench;
+}
+
+}  // namespace artc::core

@@ -1,0 +1,26 @@
+// The ARTC compiler: trace + initial snapshot -> compiled benchmark.
+//
+// A single scan over the annotated trace maintains one cursor per resource
+// (creating action, last action, uses since create) and emits dependency
+// edges according to the enabled ordering rules — action series are never
+// materialised, exactly as Sec. 4.3.3 describes.
+#ifndef SRC_CORE_COMPILER_H_
+#define SRC_CORE_COMPILER_H_
+
+#include "src/core/compiled.h"
+#include "src/trace/event.h"
+#include "src/trace/snapshot.h"
+
+namespace artc::core {
+
+struct CompileOptions {
+  ReplayMethod method = ReplayMethod::kArtc;
+  ReplayModes modes;  // only consulted for kArtc
+};
+
+CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+                          const CompileOptions& options = {});
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_COMPILER_H_

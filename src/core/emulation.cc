@@ -1,0 +1,68 @@
+#include "src/core/emulation.h"
+
+namespace artc::core {
+
+EmulationRule GetEmulationRule(trace::Sys call, const std::string& target_os) {
+  using trace::Sys;
+  const bool osx = target_os == "osx";
+  const bool freebsd = target_os == "freebsd";
+  if (!trace::GetSysInfo(call).osx_specific) {
+    return {EmulationAction::kNative, Sys::kCount};
+  }
+  if (osx) {
+    return {EmulationAction::kNative, Sys::kCount};
+  }
+  switch (call) {
+    // Metadata-access APIs: emulate with the closest stat/xattr/dir call,
+    // ignoring option flags the target doesn't support.
+    case Sys::kGetAttrList:
+      return {EmulationAction::kSubstitute, Sys::kStat};
+    case Sys::kSetAttrList:
+      return {EmulationAction::kSubstitute, Sys::kUtimes};
+    case Sys::kGetDirEntriesAttr:
+      return {EmulationAction::kSubstitute, Sys::kGetDirEntries};
+    case Sys::kSearchFs:
+      return {EmulationAction::kSubstitute, Sys::kGetDirEntries};
+    case Sys::kGetXattrOsx:
+      return {EmulationAction::kSubstitute, Sys::kGetXattr};
+    case Sys::kSetXattrOsx:
+      return {EmulationAction::kSubstitute, Sys::kSetXattr};
+    case Sys::kFGetXattrOsx:
+      return {EmulationAction::kSubstitute, Sys::kFGetXattr};
+    case Sys::kFSetXattrOsx:
+      return {EmulationAction::kSubstitute, Sys::kFSetXattr};
+    case Sys::kListXattrOsx:
+      return {EmulationAction::kSubstitute, Sys::kListXattr};
+    case Sys::kRemoveXattrOsx:
+      return {EmulationAction::kSubstitute, Sys::kRemoveXattr};
+    case Sys::kFsCtl:
+      return {EmulationAction::kSubstitute, Sys::kStatFs};
+    // File-system hints: prefetch/preallocate/cache-bypass map to the
+    // target's hints; FreeBSD lacks some of these entirely.
+    case Sys::kFcntlRdAdvise:
+      return freebsd ? EmulationRule{EmulationAction::kIgnore, Sys::kCount}
+                     : EmulationRule{EmulationAction::kSubstitute, Sys::kFadvise};
+    case Sys::kFcntlPreallocate:
+      return freebsd ? EmulationRule{EmulationAction::kIgnore, Sys::kCount}
+                     : EmulationRule{EmulationAction::kSubstitute, Sys::kFallocate};
+    case Sys::kFcntlNoCache:
+      return {EmulationAction::kIgnore, Sys::kCount};
+    // Durability: F_FULLFSYNC becomes a plain (durable) fsync elsewhere.
+    case Sys::kFcntlFullFsync:
+      return {EmulationAction::kSubstitute, Sys::kFsync};
+    // Undocumented metadata-related calls: emulate with small metadata
+    // accesses.
+    case Sys::kOsxUndoc1:
+    case Sys::kOsxUndoc2:
+      return {EmulationAction::kSubstitute, Sys::kStat};
+    case Sys::kOsxUndoc3:
+      return {EmulationAction::kSubstitute, Sys::kListXattr};
+    // The atomic swap has no single-call equivalent: link + two renames.
+    case Sys::kExchangeData:
+      return {EmulationAction::kSequence, Sys::kCount};
+    default:
+      return {EmulationAction::kIgnore, Sys::kCount};
+  }
+}
+
+}  // namespace artc::core

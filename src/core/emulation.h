@@ -1,0 +1,54 @@
+// Cross-platform emulation (paper Sec. 4.3.4): when a trace contains calls
+// that the target platform does not provide, the replayer issues the most
+// similar call (or sequence of calls) available. The 19 OS-X-specific calls
+// fall into the paper's four groups: metadata-access APIs, file-system
+// hints, obscure undocumented calls, and the exchangedata atomicity
+// primitive, plus the fsync-semantics difference.
+#ifndef SRC_CORE_EMULATION_H_
+#define SRC_CORE_EMULATION_H_
+
+#include <string>
+
+#include "src/trace/syscalls.h"
+
+namespace artc::core {
+
+// How fsync recorded on the source should behave on the target (paper:
+// "When replaying traces collected from Linux on a Mac, a replay option
+// determines which semantics are used to emulate fsync").
+enum class FsyncEmulation : uint8_t {
+  kTargetDefault,  // use whatever the target's fsync does
+  kDurable,        // force durability (F_FULLFSYNC-style)
+  kFlushOnly,      // device flush only
+};
+
+struct EmulationPolicy {
+  std::string target_os = "linux";  // "linux", "osx", "freebsd", "illumos"
+  FsyncEmulation fsync = FsyncEmulation::kTargetDefault;
+  // Create /dev/random as a symlink to /dev/urandom during initialization
+  // (avoids blocking reads when replaying OS X traces on Linux).
+  bool dev_random_symlink = true;
+  // Strip O_EXCL from creates the trace model flagged as inconsistent
+  // (paper Sec. 5.1 "Missing trace details"). Applied at compile time.
+  bool relax_excl_on_anomaly = true;
+};
+
+// Emulation classification for one call on a target OS.
+enum class EmulationAction : uint8_t {
+  kNative,      // the target supports the call directly
+  kSubstitute,  // replay a single similar call instead
+  kSequence,    // replay a multi-call sequence (exchangedata)
+  kIgnore,      // no analogous API (e.g., some hints on FreeBSD): no-op
+};
+
+struct EmulationRule {
+  EmulationAction action = EmulationAction::kNative;
+  trace::Sys substitute = trace::Sys::kCount;  // for kSubstitute
+};
+
+// Returns how `call` should be replayed on `target_os`.
+EmulationRule GetEmulationRule(trace::Sys call, const std::string& target_os);
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_EMULATION_H_

@@ -1,0 +1,62 @@
+#include "src/core/modes.h"
+
+#include "src/util/check.h"
+
+namespace artc::core {
+
+const char* ReplayMethodName(ReplayMethod m) {
+  switch (m) {
+    case ReplayMethod::kArtc:
+      return "artc";
+    case ReplayMethod::kSingleThreaded:
+      return "single";
+    case ReplayMethod::kTemporal:
+      return "temporal";
+    case ReplayMethod::kUnconstrained:
+      return "unconstrained";
+  }
+  return "?";
+}
+
+ReplayMethod ReplayMethodFromName(const std::string& name) {
+  if (name == "artc") {
+    return ReplayMethod::kArtc;
+  }
+  if (name == "single") {
+    return ReplayMethod::kSingleThreaded;
+  }
+  if (name == "temporal") {
+    return ReplayMethod::kTemporal;
+  }
+  if (name == "unconstrained") {
+    return ReplayMethod::kUnconstrained;
+  }
+  ARTC_CHECK_MSG(false, "unknown replay method '%s'", name.c_str());
+  return ReplayMethod::kArtc;
+}
+
+const char* RuleTagName(RuleTag t) {
+  switch (t) {
+    case RuleTag::kThreadSeq:
+      return "thread_seq";
+    case RuleTag::kFileSeq:
+      return "file_seq";
+    case RuleTag::kPathStage:
+      return "path_stage";
+    case RuleTag::kPathName:
+      return "path_name";
+    case RuleTag::kFdStage:
+      return "fd_stage";
+    case RuleTag::kFdSeq:
+      return "fd_seq";
+    case RuleTag::kAioStage:
+      return "aio_stage";
+    case RuleTag::kTemporal:
+      return "temporal";
+    case RuleTag::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace artc::core

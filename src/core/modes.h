@@ -1,0 +1,49 @@
+// Replay methods and ordering-rule modes (paper Table 2 and Sec. 5).
+#ifndef SRC_CORE_MODES_H_
+#define SRC_CORE_MODES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace artc::core {
+
+// The four replay strategies compared in the evaluation.
+enum class ReplayMethod : uint8_t {
+  kArtc,            // ROOT resource-oriented ordering (this paper)
+  kSingleThreaded,  // one replay thread, trace order (== program_seq)
+  kTemporal,        // per-thread replay threads, global issue order preserved
+  kUnconstrained,   // per-thread replay threads, no cross-thread ordering
+};
+
+const char* ReplayMethodName(ReplayMethod m);
+ReplayMethod ReplayMethodFromName(const std::string& name);
+
+// Which ROOT rules ARTC applies to which resources. Defaults follow the
+// paper (all supported constraints except program_seq are on by default;
+// thread_seq is structural and always enforced).
+struct ReplayModes {
+  bool file_seq = true;         // sequential ordering on file resources
+  bool path_stage_name = true;  // joint stage+name ordering on paths
+  bool fd_stage = true;         // stage ordering on file descriptors
+  bool fd_seq = false;          // sequential ordering on file descriptors
+  bool aio_stage = true;        // stage ordering on AIO control blocks
+};
+
+// Rule tags used for dependency-edge statistics (Fig. 8).
+enum class RuleTag : uint8_t {
+  kThreadSeq,
+  kFileSeq,
+  kPathStage,
+  kPathName,
+  kFdStage,
+  kFdSeq,
+  kAioStage,
+  kTemporal,
+  kCount,
+};
+
+const char* RuleTagName(RuleTag t);
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_MODES_H_

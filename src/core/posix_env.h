@@ -1,0 +1,82 @@
+// POSIX replay backend: executes compiled actions as real system calls on
+// the host file system, with real std::thread replay threads and striped
+// condition variables — this is the paper's actual replayer mechanism. The
+// benchmark's absolute paths are translated under a sandbox root ("All that
+// is required for basic use is the compiled benchmark and a directory in
+// which to run the benchmark", Sec. 4.1).
+//
+// Used by the examples and semantic-correctness tests; the performance
+// experiments run on the simulated backend instead so they are
+// deterministic and hardware-independent.
+#ifndef SRC_CORE_POSIX_ENV_H_
+#define SRC_CORE_POSIX_ENV_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/compiled.h"
+#include "src/core/emulation.h"
+#include "src/core/replay_engine.h"
+
+namespace artc::core {
+
+class PosixReplayEnv {
+ public:
+  // root: existing directory the benchmark runs in. Trace paths like
+  // "/app/file" are executed as "<root>/app/file".
+  explicit PosixReplayEnv(std::string root, EmulationPolicy policy = {});
+
+  // ---- Env concept for Replay<> ----
+  TimeNs Now() const;
+  void SleepNs(TimeNs d);
+  void RunThreads(size_t n, std::function<void(size_t)> body);
+  template <typename Pred>
+  void WaitOn(uint32_t idx, Pred pred) {
+    Stripe& s = stripes_[idx % kStripes];
+    std::unique_lock<std::mutex> lk(s.mu);
+    s.cv.wait(lk, pred);
+  }
+  void Notify(uint32_t idx) {
+    Stripe& s = stripes_[idx % kStripes];
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+    }
+    s.cv.notify_all();
+  }
+  int64_t Execute(const CompiledAction& a, const ExecContext& ctx);
+
+  // Creates the snapshot's tree under the sandbox root (real mkdir/open/
+  // truncate/symlink). Special files become symlinks into the host /dev.
+  void Initialize(const trace::FsSnapshot& snapshot);
+
+  const std::string& root() const { return root_; }
+
+  // Calls that could not be executed at all on this host (counted, not
+  // fatal).
+  uint64_t unsupported_calls() const { return unsupported_; }
+
+ private:
+  std::string Translate(const std::string& trace_path) const;
+
+  static constexpr size_t kStripes = 256;
+  struct Stripe {
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+
+  std::string root_;
+  EmulationPolicy policy_;
+  std::vector<Stripe> stripes_{kStripes};
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+  std::atomic<uint64_t> unsupported_{0};
+  std::atomic<uint64_t> exchange_tmp_counter_{0};
+};
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_POSIX_ENV_H_

@@ -1,0 +1,128 @@
+// The replay engine (paper Sec. 4.3.3), templated over a backend
+// environment so the same enforcement logic drives both the simulated
+// kernel (virtual time, used by all performance experiments) and real POSIX
+// syscalls (host file system).
+//
+// Enforcement follows the paper: each action has an issued flag and a done
+// flag; replay threads walk their own action lists in order, wait on each
+// dependency's flag through a striped condition-variable table, optionally
+// sleep the recorded predelay, execute, and broadcast completion.
+//
+// Env concept:
+//   TimeNs Now();
+//   void RunThreads(size_t n, std::function<void(size_t)> body);
+//   void SleepNs(TimeNs d);                       // from a replay thread
+//   void WaitOn(uint32_t idx, Pred pred);         // block until pred()
+//   void Notify(uint32_t idx);                    // wake idx's stripe
+//   int64_t Execute(const CompiledAction& a, const ExecContext& ctx);
+//   (Execute returns the action's trace-convention result; for fd/aio
+//    creating calls the non-negative result is the runtime handle.)
+#ifndef SRC_CORE_REPLAY_ENGINE_H_
+#define SRC_CORE_REPLAY_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "src/core/compiled.h"
+#include "src/core/report.h"
+
+namespace artc::core {
+
+enum class PacingMode : uint8_t {
+  kAfap,     // as fast as possible: ignore predelay
+  kNatural,  // sleep the recorded predelay before each action
+  kScaled,   // sleep predelay * scale
+};
+
+struct ReplayOptions {
+  PacingMode pacing = PacingMode::kAfap;
+  double predelay_scale = 1.0;
+};
+
+// Runtime argument resolution handed to Env::Execute.
+struct ExecContext {
+  int32_t fd = -1;      // runtime fd for the action's fd argument
+  int64_t aio = -1;     // runtime aio handle for the action's aiocb argument
+};
+
+template <typename Env>
+ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
+                    const ReplayOptions& options = {}) {
+  const size_t n = bench.actions.size();
+  std::vector<std::atomic<uint8_t>> issued(n);
+  std::vector<std::atomic<uint8_t>> done(n);
+  for (size_t i = 0; i < n; ++i) {
+    issued[i].store(0, std::memory_order_relaxed);
+    done[i].store(0, std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<int32_t>> fd_slots(bench.fd_slot_count);
+  for (auto& s : fd_slots) {
+    s.store(-1, std::memory_order_relaxed);
+  }
+  std::vector<std::atomic<int64_t>> aio_slots(bench.aio_slot_count);
+  for (auto& s : aio_slots) {
+    s.store(-1, std::memory_order_relaxed);
+  }
+  std::vector<ActionOutcome> outcomes(n);
+
+  const TimeNs start = env.Now();
+  env.RunThreads(bench.thread_actions.size(), [&](size_t thread_index) {
+    for (uint32_t idx : bench.thread_actions[thread_index]) {
+      const CompiledAction& a = bench.actions[idx];
+      // 1. Wait for dependencies.
+      TimeNs wait_start = env.Now();
+      for (const Dep& dep : a.deps) {
+        auto& flag = dep.kind == DepKind::kIssue ? issued[dep.event] : done[dep.event];
+        if (flag.load(std::memory_order_acquire) == 0) {
+          env.WaitOn(dep.event,
+                     [&flag] { return flag.load(std::memory_order_acquire) != 0; });
+        }
+      }
+      outcomes[idx].dep_stall = env.Now() - wait_start;
+      // 2. Pacing.
+      if (options.pacing == PacingMode::kNatural && a.predelay > 0) {
+        env.SleepNs(a.predelay);
+      } else if (options.pacing == PacingMode::kScaled && a.predelay > 0) {
+        env.SleepNs(static_cast<TimeNs>(static_cast<double>(a.predelay) *
+                                        options.predelay_scale));
+      }
+      // 3. Issue.
+      ActionOutcome& out = outcomes[idx];
+      out.issue = env.Now();
+      issued[idx].store(1, std::memory_order_release);
+      env.Notify(idx);
+      // 4. Execute with resolved runtime handles.
+      ExecContext ctx;
+      if (a.fd_use_slot >= 0) {
+        ctx.fd = fd_slots[static_cast<size_t>(a.fd_use_slot)].load(
+            std::memory_order_acquire);
+      }
+      if (a.aio_use_slot >= 0) {
+        ctx.aio = aio_slots[static_cast<size_t>(a.aio_use_slot)].load(
+            std::memory_order_acquire);
+      }
+      int64_t ret = env.Execute(a, ctx);
+      out.complete = env.Now();
+      out.ret = ret;
+      out.executed = true;
+      if (ret >= 0 && a.fd_def_slot >= 0) {
+        fd_slots[static_cast<size_t>(a.fd_def_slot)].store(static_cast<int32_t>(ret),
+                                                           std::memory_order_release);
+      }
+      if (ret >= 0 && a.aio_def_slot >= 0) {
+        aio_slots[static_cast<size_t>(a.aio_def_slot)].store(ret,
+                                                             std::memory_order_release);
+      }
+      // 5. Broadcast completion.
+      done[idx].store(1, std::memory_order_release);
+      env.Notify(idx);
+    }
+  });
+  const TimeNs wall = env.Now() - start;
+  return BuildReport(bench, std::move(outcomes), wall);
+}
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_REPLAY_ENGINE_H_

@@ -1,0 +1,96 @@
+#include "src/core/report.h"
+
+#include "src/util/strings.h"
+
+namespace artc::core {
+
+bool OutcomeMatches(const trace::TraceEvent& ev, int64_t replay_ret) {
+  bool traced_ok = ev.ret >= 0;
+  bool replay_ok = replay_ret >= 0;
+  if (traced_ok != replay_ok) {
+    return false;
+  }
+  if (!traced_ok) {
+    return ev.ret == replay_ret;  // same errno
+  }
+  switch (ev.call) {
+    case trace::Sys::kOpen:
+    case trace::Sys::kCreat:
+    case trace::Sys::kShmOpen:
+    case trace::Sys::kDup:
+    case trace::Sys::kDup2:
+      return true;  // fd values are remapped; any success matches
+    case trace::Sys::kRead:
+    case trace::Sys::kPRead:
+    case trace::Sys::kWrite:
+    case trace::Sys::kPWrite:
+      return ev.ret == replay_ret;  // byte counts must match
+    default:
+      return true;  // success-class match is enough for metadata calls
+  }
+}
+
+TimeNs ReplayReport::TotalThreadTime() const {
+  TimeNs total = 0;
+  for (TimeNs t : thread_time_by_category) {
+    total += t;
+  }
+  return total;
+}
+
+double ReplayReport::MeanConcurrency() const {
+  if (wall_time <= 0) {
+    return 0;
+  }
+  return static_cast<double>(TotalThreadTime()) / static_cast<double>(wall_time);
+}
+
+ReplayReport BuildReport(const CompiledBenchmark& bench,
+                         std::vector<ActionOutcome> outcomes, TimeNs wall_time) {
+  ReplayReport report;
+  report.method = bench.method;
+  report.wall_time = wall_time;
+  report.total_events = bench.actions.size();
+  for (const CompiledAction& a : bench.actions) {
+    const ActionOutcome& out = outcomes[a.ev.index];
+    if (!out.executed) {
+      report.failed_events++;
+      continue;
+    }
+    if (!OutcomeMatches(a.ev, out.ret)) {
+      report.failed_events++;
+      bool traced_ok = a.ev.ret >= 0;
+      bool replay_ok = out.ret >= 0;
+      if (traced_ok && !replay_ok) {
+        report.failed_unexpected_err++;
+      } else if (!traced_ok && replay_ok) {
+        report.failed_unexpected_ok++;
+      } else {
+        report.failed_wrong_errno++;
+      }
+    }
+    TimeNs dur = out.complete - out.issue;
+    size_t cat = static_cast<size_t>(trace::GetSysInfo(a.ev.call).category);
+    report.thread_time_by_category[cat] += dur;
+    report.total_dep_stall += out.dep_stall;
+    report.count_by_sys[static_cast<size_t>(a.ev.call)]++;
+    report.time_by_sys[static_cast<size_t>(a.ev.call)] += dur;
+  }
+  report.outcomes = std::move(outcomes);
+  return report;
+}
+
+std::string ReplayReport::Summary() const {
+  std::string s = StrFormat(
+      "method=%s events=%llu failures=%llu (err->%llu ok->%llu errno->%llu) "
+      "wall=%.3fs threadtime=%.3fs concurrency=%.2f",
+      ReplayMethodName(method), static_cast<unsigned long long>(total_events),
+      static_cast<unsigned long long>(failed_events),
+      static_cast<unsigned long long>(failed_unexpected_err),
+      static_cast<unsigned long long>(failed_unexpected_ok),
+      static_cast<unsigned long long>(failed_wrong_errno), ToSeconds(wall_time),
+      ToSeconds(TotalThreadTime()), MeanConcurrency());
+  return s;
+}
+
+}  // namespace artc::core

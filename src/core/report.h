@@ -1,0 +1,72 @@
+// Replay reports: the "detailed data about why a replay performed the way
+// it did" from Sec. 4.3.3 — wall time, per-call latencies, semantic-accuracy
+// accounting (return-value match), thread-time by call family (Fig. 10),
+// and system-call concurrency (Fig. 9).
+#ifndef SRC_CORE_REPORT_H_
+#define SRC_CORE_REPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/compiled.h"
+#include "src/trace/syscalls.h"
+#include "src/util/time.h"
+
+namespace artc::core {
+
+// Raw per-action replay result, filled by the engine.
+struct ActionOutcome {
+  TimeNs issue = 0;     // when the call was issued during replay
+  TimeNs complete = 0;  // when it returned
+  TimeNs dep_stall = 0; // time spent waiting on ordering dependencies
+  int64_t ret = 0;      // value or -errno, same convention as traces
+  bool executed = false;
+};
+
+inline constexpr size_t kCategoryCount = 12;
+
+struct ReplayReport {
+  ReplayMethod method = ReplayMethod::kArtc;
+  TimeNs wall_time = 0;
+  uint64_t total_events = 0;
+
+  // Semantic accuracy (Table 3): an event fails if its replayed return
+  // class differs from the traced one (success vs. specific errno).
+  uint64_t failed_events = 0;
+  uint64_t failed_wrong_errno = 0;    // failed in both, different errno
+  uint64_t failed_unexpected_ok = 0;  // traced failure, replay success
+  uint64_t failed_unexpected_err = 0; // traced success, replay failure
+
+  // Thread-time: total time spent inside calls, bucketed by family.
+  std::array<TimeNs, kCategoryCount> thread_time_by_category{};
+  TimeNs TotalThreadTime() const;
+
+  // Concurrency: mean number of in-flight system calls over the replay
+  // (thread-time / wall-time).
+  double MeanConcurrency() const;
+
+  // Per-call-type counts and latency sums.
+  std::array<uint64_t, trace::kSysCount> count_by_sys{};
+  std::array<TimeNs, trace::kSysCount> time_by_sys{};
+
+  // Total time replay threads spent blocked on ordering dependencies — the
+  // "stalls" visible as gaps in Fig. 9's timelines.
+  TimeNs total_dep_stall = 0;
+
+  std::vector<ActionOutcome> outcomes;  // per trace index
+
+  std::string Summary() const;  // human-readable one-pager
+};
+
+// Builds the aggregate report from raw outcomes.
+ReplayReport BuildReport(const CompiledBenchmark& bench,
+                         std::vector<ActionOutcome> outcomes, TimeNs wall_time);
+
+// True if the replayed return matches the traced return semantically.
+bool OutcomeMatches(const trace::TraceEvent& ev, int64_t replay_ret);
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_REPORT_H_

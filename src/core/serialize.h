@@ -1,0 +1,27 @@
+// (De)serialization of compiled benchmarks. The original ARTC emitted
+// generated C compiled into a shared library, "a simple way to serialize
+// the replay information ... using pre-built data structures saves the
+// runtime overhead of parsing a more generic input format" (Sec. 4.3.1).
+// We serve the same role with a compact binary file: compile a trace once
+// with the artc_compile tool, ship the .artcb file, replay it anywhere.
+#ifndef SRC_CORE_SERIALIZE_H_
+#define SRC_CORE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/compiled.h"
+
+namespace artc::core {
+
+// Binary format, versioned; aborts on malformed input (benchmarks are
+// build artifacts, not untrusted data).
+void WriteBenchmark(const CompiledBenchmark& bench, std::ostream& out);
+CompiledBenchmark ReadBenchmark(std::istream& in);
+
+void WriteBenchmarkFile(const CompiledBenchmark& bench, const std::string& path);
+CompiledBenchmark ReadBenchmarkFile(const std::string& path);
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_SERIALIZE_H_

@@ -1,0 +1,98 @@
+#include "src/core/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace artc::core {
+namespace {
+
+struct Span {
+  uint32_t row;
+  TimeNs begin;
+  TimeNs end;
+};
+
+std::string Render(const std::vector<Span>& spans, const std::vector<std::string>& labels,
+                   TimeNs start, TimeNs duration, size_t width) {
+  if (duration <= 0) {
+    TimeNs max_end = 0;
+    for (const Span& s : spans) {
+      max_end = std::max(max_end, s.end);
+    }
+    duration = std::max<TimeNs>(1, max_end - start);
+  }
+  std::vector<std::string> rows(labels.size(), std::string(width, '.'));
+  for (const Span& s : spans) {
+    TimeNs b = std::max(s.begin, start);
+    TimeNs e = std::min(s.end, start + duration);
+    if (e <= b) {
+      continue;
+    }
+    size_t c0 = static_cast<size_t>((b - start) * static_cast<TimeNs>(width) / duration);
+    size_t c1 = static_cast<size_t>((e - start) * static_cast<TimeNs>(width) / duration);
+    c1 = std::min(c1 + 1, width);
+    for (size_t c = c0; c < c1; ++c) {
+      rows[s.row][c] = '#';
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out += StrFormat("%-12s |%s|\n", labels[i].c_str(), rows[i].c_str());
+  }
+  out += StrFormat("%-12s  %.3fs%*s%.3fs\n", "", ToSeconds(start),
+                   static_cast<int>(width > 12 ? width - 12 : 1), "",
+                   ToSeconds(start + duration));
+  return out;
+}
+
+}  // namespace
+
+std::string RenderTimeline(const CompiledBenchmark& bench, const ReplayReport& report,
+                           const TimelineOptions& options) {
+  std::vector<Span> spans;
+  TimeNs t0 = INT64_MAX;
+  for (const CompiledAction& a : bench.actions) {
+    const ActionOutcome& out = report.outcomes[a.ev.index];
+    if (out.executed) {
+      t0 = std::min(t0, out.issue);
+    }
+  }
+  if (t0 == INT64_MAX) {
+    t0 = 0;
+  }
+  for (const CompiledAction& a : bench.actions) {
+    const ActionOutcome& out = report.outcomes[a.ev.index];
+    if (out.executed) {
+      spans.push_back({a.thread_index, out.issue - t0, out.complete - t0});
+    }
+  }
+  std::vector<std::string> labels;
+  labels.reserve(bench.thread_ids.size());
+  for (uint32_t tid : bench.thread_ids) {
+    labels.push_back(StrFormat("thread %u", tid));
+  }
+  return Render(spans, labels, options.window_start,
+                options.window_duration, options.width);
+}
+
+std::string RenderTraceTimeline(const trace::Trace& t, const TimelineOptions& options) {
+  std::map<uint32_t, uint32_t> row_of;
+  std::vector<std::string> labels;
+  for (uint32_t tid : t.ThreadIds()) {
+    row_of[tid] = static_cast<uint32_t>(labels.size());
+    labels.push_back(StrFormat("thread %u", tid));
+  }
+  TimeNs t0 = t.events.empty() ? 0 : t.events.front().enter;
+  std::vector<Span> spans;
+  spans.reserve(t.events.size());
+  for (const trace::TraceEvent& ev : t.events) {
+    spans.push_back({row_of[ev.tid], ev.enter - t0, ev.ret_time - t0});
+  }
+  return Render(spans, labels, options.window_start, options.window_duration,
+                options.width);
+}
+
+}  // namespace artc::core

@@ -1,0 +1,30 @@
+// ASCII rendering of per-thread system-call timelines — the textual
+// equivalent of Fig. 9's Gantt strips, where grey rectangles mark spans
+// spent inside system calls and gaps mark ordering stalls.
+#ifndef SRC_CORE_TIMELINE_H_
+#define SRC_CORE_TIMELINE_H_
+
+#include <string>
+
+#include "src/core/compiled.h"
+#include "src/core/report.h"
+
+namespace artc::core {
+
+struct TimelineOptions {
+  size_t width = 100;        // columns for the time axis
+  TimeNs window_start = 0;   // render [start, start+duration) of the replay
+  TimeNs window_duration = 0;  // 0 = the whole replay
+};
+
+// One line per replay thread; '#' marks time inside a call, '.' idle.
+std::string RenderTimeline(const CompiledBenchmark& bench, const ReplayReport& report,
+                           const TimelineOptions& options = {});
+
+// Renders the *original* program's timeline from its trace (enter/return
+// timestamps), for side-by-side comparison with a replay.
+std::string RenderTraceTimeline(const trace::Trace& t, const TimelineOptions& options = {});
+
+}  // namespace artc::core
+
+#endif  // SRC_CORE_TIMELINE_H_

@@ -1,0 +1,800 @@
+#include "src/fsmodel/resource_model.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace artc::fsmodel {
+
+const char* ResourceKindName(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::kProgram:
+      return "program";
+    case ResourceKind::kThread:
+      return "thread";
+    case ResourceKind::kFile:
+      return "file";
+    case ResourceKind::kPath:
+      return "path";
+    case ResourceKind::kFd:
+      return "fd";
+    case ResourceKind::kAiocb:
+      return "aiocb";
+  }
+  return "?";
+}
+
+uint32_t AnnotatedTrace::ThreadResource(uint32_t tid) const {
+  for (size_t i = 0; i < thread_ids.size(); ++i) {
+    if (thread_ids[i] == tid) {
+      return thread_resources[i];
+    }
+  }
+  return kNoResource;
+}
+
+namespace {
+
+using trace::Sys;
+using trace::TraceEvent;
+
+constexpr uint8_t kNodeFile = 0;
+constexpr uint8_t kNodeDir = 1;
+constexpr uint8_t kNodeSymlink = 2;
+
+// Shadow tree node. Node identity *is* the file resource.
+struct Node {
+  uint64_t id = 0;
+  uint8_t type = kNodeFile;
+  std::map<std::string, uint64_t> children;  // dirs
+  std::string symlink_target;
+  uint32_t nlink = 1;
+  uint32_t resource = kNoResource;  // lazily assigned
+};
+
+// Current binding state of a literal path name.
+struct PathState {
+  uint32_t resource = kNoResource;  // current generation's resource id
+  bool bound = false;               // does the name currently resolve?
+  uint64_t node = 0;                // node it binds to, when bound
+  uint32_t generation = 0;
+};
+
+struct FdState {
+  uint32_t resource = kNoResource;
+  uint64_t node = 0;
+  bool open = false;
+  uint32_t generation = 0;
+};
+
+struct AioState {
+  uint32_t resource = kNoResource;
+  bool live = false;
+  uint32_t generation = 0;
+};
+
+class Annotator {
+ public:
+  Annotator(const trace::Trace& t, const trace::FsSnapshot& snapshot) : trace_(t) {
+    // Resource 0 is the program.
+    NewResource(ResourceKind::kProgram, "program");
+    BuildTree(snapshot);
+  }
+
+  AnnotatedTrace Run() {
+    out_.touches.resize(trace_.events.size());
+    for (const TraceEvent& ev : trace_.events) {
+      cur_ = &out_.touches[ev.index];
+      TouchThread(ev.tid);
+      Handle(ev);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // ---- resource table ----
+  uint32_t NewResource(ResourceKind kind, std::string label,
+                       uint32_t prev = kNoResource, bool initially_bound = false) {
+    ResourceInfo info;
+    info.kind = kind;
+    info.label = std::move(label);
+    info.prev_generation = prev;
+    info.initially_bound = initially_bound;
+    out_.resources.push_back(std::move(info));
+    return static_cast<uint32_t>(out_.resources.size() - 1);
+  }
+
+  void Warn(const std::string& msg) {
+    out_.warnings++;
+    if (out_.first_warning.empty()) {
+      out_.first_warning = msg;
+    }
+  }
+
+  void TouchRes(uint32_t resource, Access access) {
+    if (resource == kNoResource) {
+      return;
+    }
+    for (const auto& t : *cur_) {
+      if (t.resource == resource && t.access == access) {
+        return;  // dedup within the event
+      }
+    }
+    cur_->push_back({resource, access});
+  }
+
+  void TouchThread(uint32_t tid) {
+    auto it = thread_res_.find(tid);
+    uint32_t r;
+    if (it == thread_res_.end()) {
+      r = NewResource(ResourceKind::kThread, StrFormat("thread:%u", tid));
+      thread_res_[tid] = r;
+      out_.thread_ids.push_back(tid);
+      out_.thread_resources.push_back(r);
+    } else {
+      r = it->second;
+    }
+    TouchRes(r, Access::kUse);
+  }
+
+  // ---- shadow tree ----
+  Node* GetNode(uint64_t id) {
+    auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : it->second.get();
+  }
+
+  Node* NewNode(uint8_t type) {
+    auto n = std::make_unique<Node>();
+    n->id = next_node_++;
+    n->type = type;
+    Node* raw = n.get();
+    nodes_[raw->id] = std::move(n);
+    return raw;
+  }
+
+  uint32_t NodeResource(Node* n) {
+    if (n->resource == kNoResource) {
+      n->resource = NewResource(ResourceKind::kFile, StrFormat("file:%llu",
+                                static_cast<unsigned long long>(n->id)));
+    }
+    return n->resource;
+  }
+
+  void BuildTree(const trace::FsSnapshot& snapshot) {
+    Node* root = NewNode(kNodeDir);
+    root_ = root->id;
+    for (const trace::SnapshotEntry& e : snapshot.entries) {
+      switch (e.type) {
+        case trace::SnapshotEntryType::kDir:
+          MkdirAll(e.path);
+          break;
+        case trace::SnapshotEntryType::kFile:
+        case trace::SnapshotEntryType::kSpecial: {
+          Node* dir = MkdirAll(std::string(DirName(e.path)));
+          Node* f = NewNode(kNodeFile);
+          dir->children[std::string(BaseName(e.path))] = f->id;
+          break;
+        }
+        case trace::SnapshotEntryType::kSymlink: {
+          Node* dir = MkdirAll(std::string(DirName(e.path)));
+          Node* l = NewNode(kNodeSymlink);
+          l->symlink_target = e.symlink_target;
+          dir->children[std::string(BaseName(e.path))] = l->id;
+          break;
+        }
+      }
+    }
+  }
+
+  Node* MkdirAll(const std::string& path) {
+    Node* dir = GetNode(root_);
+    std::string norm = NormalizePath(path);  // keep alive: SplitPath returns views
+    for (std::string_view comp : SplitPath(norm)) {
+      std::string name(comp);
+      auto it = dir->children.find(name);
+      if (it != dir->children.end()) {
+        Node* child = GetNode(it->second);
+        if (child->type == kNodeDir) {
+          dir = child;
+          continue;
+        }
+        return child;  // degenerate; callers handle
+      }
+      Node* child = NewNode(kNodeDir);
+      dir->children[name] = child->id;
+      dir = child;
+    }
+    return dir;
+  }
+
+  // Resolves a path to (node, parent, leaf-name), following symlinks; the
+  // nodes of traversed symlinks are appended to `via`.
+  struct Resolved {
+    Node* node = nullptr;    // nullptr if unbound
+    Node* parent = nullptr;  // immediate parent dir, if it exists
+    std::string leaf;
+    std::string parent_path;  // normalized absolute path of parent
+    std::string final_path;   // normalized absolute path of the leaf
+  };
+
+  Resolved ResolvePath(const std::string& path, bool follow_last,
+                       std::vector<Node*>* via, int depth = 0) {
+    Resolved res;
+    if (depth > 8) {
+      return res;
+    }
+    std::string norm = NormalizePath(path);
+    std::vector<std::string> parts;
+    for (std::string_view c : SplitPath(norm)) {
+      parts.emplace_back(c);
+    }
+    Node* dir = GetNode(root_);
+    std::string cur_path = "";
+    if (parts.empty()) {
+      res.node = dir;
+      res.parent = dir;
+      res.leaf = "/";
+      res.final_path = "/";
+      res.parent_path = "/";
+      return res;
+    }
+    for (size_t i = 0; i < parts.size(); ++i) {
+      bool last = i + 1 == parts.size();
+      if (dir->type != kNodeDir) {
+        return res;
+      }
+      auto it = dir->children.find(parts[i]);
+      std::string this_path = cur_path + "/" + parts[i];
+      if (it == dir->children.end()) {
+        if (last) {
+          res.parent = dir;
+          res.leaf = parts[i];
+          res.parent_path = cur_path.empty() ? "/" : cur_path;
+          res.final_path = this_path;
+        }
+        return res;
+      }
+      Node* child = GetNode(it->second);
+      if (child->type == kNodeSymlink && (!last || follow_last)) {
+        if (via != nullptr) {
+          via->push_back(child);
+        }
+        std::string target = child->symlink_target;
+        std::string base = target.empty() || target[0] != '/'
+                               ? JoinPath(cur_path.empty() ? "/" : cur_path, target)
+                               : target;
+        for (size_t j = i + 1; j < parts.size(); ++j) {
+          base = JoinPath(base, parts[j]);
+        }
+        return ResolvePath(base, follow_last, via, depth + 1);
+      }
+      if (last) {
+        res.node = child;
+        res.parent = dir;
+        res.leaf = parts[i];
+        res.parent_path = cur_path.empty() ? "/" : cur_path;
+        res.final_path = this_path;
+        return res;
+      }
+      dir = child;
+      cur_path = this_path;
+    }
+    return res;
+  }
+
+  // ---- path generations ----
+
+  PathState& PathFor(const std::string& norm_path) {
+    auto it = paths_.find(norm_path);
+    if (it != paths_.end()) {
+      return it->second;
+    }
+    // First reference: bind lazily against the current tree.
+    PathState st;
+    std::vector<Node*> via;
+    Resolved r = ResolvePath(norm_path, /*follow_last=*/false, &via);
+    st.bound = r.node != nullptr;
+    st.node = r.node != nullptr ? r.node->id : 0;
+    st.generation = 1;
+    st.resource = NewResource(ResourceKind::kPath,
+                              StrFormat("path:%s@1%s", norm_path.c_str(),
+                                        st.bound ? "" : "(absent)"),
+                              kNoResource, /*initially_bound=*/st.bound);
+    return paths_.emplace(norm_path, st).first->second;
+  }
+
+  // Declares that the binding of `norm_path` changed. The event receives a
+  // kDelete touch on the old generation and a kCreate touch on the new one.
+  void RebindPath(const std::string& norm_path, bool now_bound, uint64_t node) {
+    PathState& st = PathFor(norm_path);
+    TouchRes(st.resource, Access::kDelete);
+    uint32_t prev = st.resource;
+    st.generation++;
+    st.bound = now_bound;
+    st.node = node;
+    st.resource = NewResource(
+        ResourceKind::kPath,
+        StrFormat("path:%s@%u%s", norm_path.c_str(), st.generation,
+                  now_bound ? "" : "(absent)"),
+        prev, /*initially_bound=*/false);
+    TouchRes(st.resource, Access::kCreate);
+  }
+
+  // Touches the current generation of a path (plain use).
+  void UsePath(const std::string& norm_path) {
+    TouchRes(PathFor(norm_path).resource, Access::kUse);
+  }
+
+  // Collects all *referenced* paths at or under `prefix` (for directory
+  // renames: every name the program has used that the rename invalidates).
+  std::vector<std::string> ReferencedPathsUnder(const std::string& prefix) {
+    std::vector<std::string> out;
+    std::string dir_prefix = prefix == "/" ? "/" : prefix + "/";
+    for (const auto& [p, st] : paths_) {
+      if (p == prefix || StartsWith(p, dir_prefix)) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+
+  // ---- fd / aio generations ----
+
+  void FdOpen(int32_t fd, uint64_t node) {
+    if (fd < 0) {
+      return;
+    }
+    FdState& st = fds_[fd];
+    uint32_t prev = st.resource;
+    st.generation++;
+    st.open = true;
+    st.node = node;
+    st.resource = NewResource(ResourceKind::kFd, StrFormat("fd:%d@%u", fd, st.generation),
+                              prev);
+    TouchRes(st.resource, Access::kCreate);
+  }
+
+  // Returns the node the fd refers to, touching the fd resource.
+  Node* FdUse(int32_t fd, Access access) {
+    auto it = fds_.find(fd);
+    if (it == fds_.end() || !it->second.open) {
+      return nullptr;
+    }
+    TouchRes(it->second.resource, access);
+    return GetNode(it->second.node);
+  }
+
+  void FdClose(int32_t fd) {
+    auto it = fds_.find(fd);
+    if (it == fds_.end() || !it->second.open) {
+      return;
+    }
+    TouchRes(it->second.resource, Access::kDelete);
+    it->second.open = false;
+  }
+
+  // ---- per-call handling ----
+
+  // Touches for a path-addressed call that does not modify the namespace:
+  // literal path (current gen), traversed symlinks, parent dir node, target
+  // node. Returns the target node (nullptr if absent).
+  Node* UsePathTarget(const std::string& raw_path, bool follow_last) {
+    std::string norm = NormalizePath(raw_path);
+    std::vector<Node*> via;
+    Resolved r = ResolvePath(norm, follow_last, &via);
+    UsePath(norm);
+    for (Node* link : via) {
+      TouchRes(NodeResource(link), Access::kUse);
+    }
+    if (r.parent != nullptr) {
+      TouchRes(NodeResource(r.parent), Access::kUse);
+    }
+    if (r.node != nullptr) {
+      TouchRes(NodeResource(r.node), Access::kUse);
+    }
+    return r.node;
+  }
+
+  void HandleCreateAt(const TraceEvent& ev, uint8_t node_type) {
+    // Shared by open(O_CREAT) when it creates, mkdir, symlink.
+    std::string norm = NormalizePath(node_type == kNodeSymlink ? ev.path2 : ev.path);
+    std::vector<Node*> via;
+    Resolved r = ResolvePath(norm, /*follow_last=*/false, &via);
+    for (Node* link : via) {
+      TouchRes(NodeResource(link), Access::kUse);
+    }
+    if (r.node != nullptr) {
+      Warn(StrFormat("event %llu: create of already-bound path %s",
+                     static_cast<unsigned long long>(ev.index), norm.c_str()));
+      // Trace inconsistency (the paper's iTunes O_EXCL case): rebind.
+      Node* parent = r.parent;
+      TouchRes(NodeResource(parent), Access::kUse);
+      Node* fresh = NewNode(node_type);
+      parent->children[r.leaf] = fresh->id;
+      RebindPath(r.final_path, true, fresh->id);
+      TouchRes(NodeResource(fresh), Access::kCreate);
+      if (ev.call == Sys::kOpen) {
+        FdOpen(static_cast<int32_t>(ev.ret), fresh->id);
+      }
+      return;
+    }
+    if (r.parent == nullptr) {
+      Warn(StrFormat("event %llu: create under missing parent %s",
+                     static_cast<unsigned long long>(ev.index), norm.c_str()));
+      MkdirAll(std::string(DirName(norm)));
+      std::vector<Node*> via2;
+      r = ResolvePath(norm, /*follow_last=*/false, &via2);
+      if (r.parent == nullptr) {
+        return;
+      }
+    }
+    TouchRes(NodeResource(r.parent), Access::kUse);
+    Node* fresh = NewNode(node_type);
+    if (node_type == kNodeSymlink) {
+      fresh->symlink_target = ev.path;  // symlink(target=path, link=path2)
+    }
+    r.parent->children[r.leaf] = fresh->id;
+    RebindPath(r.final_path, true, fresh->id);
+    TouchRes(NodeResource(fresh), Access::kCreate);
+    if (ev.call == Sys::kOpen) {
+      FdOpen(static_cast<int32_t>(ev.ret), fresh->id);
+    }
+  }
+
+  void HandleUnlinkLike(const TraceEvent& ev, bool is_rmdir) {
+    std::string norm = NormalizePath(ev.path);
+    std::vector<Node*> via;
+    Resolved r = ResolvePath(norm, /*follow_last=*/false, &via);
+    for (Node* link : via) {
+      TouchRes(NodeResource(link), Access::kUse);
+    }
+    if (ev.Failed() || r.node == nullptr) {
+      UsePath(norm);
+      if (r.parent != nullptr) {
+        TouchRes(NodeResource(r.parent), Access::kUse);
+      }
+      if (r.node != nullptr) {
+        TouchRes(NodeResource(r.node), Access::kUse);
+      }
+      return;
+    }
+    TouchRes(NodeResource(r.parent), Access::kUse);
+    r.node->nlink--;
+    bool gone = is_rmdir || r.node->nlink == 0;
+    TouchRes(NodeResource(r.node), gone ? Access::kDelete : Access::kUse);
+    r.parent->children.erase(r.leaf);
+    RebindPath(r.final_path, false, 0);
+  }
+
+  void HandleRename(const TraceEvent& ev) {
+    std::string src = NormalizePath(ev.path);
+    std::string dst = NormalizePath(ev.path2);
+    std::vector<Node*> via;
+    Resolved rs = ResolvePath(src, /*follow_last=*/false, &via);
+    Resolved rd = ResolvePath(dst, /*follow_last=*/false, &via);
+    for (Node* link : via) {
+      TouchRes(NodeResource(link), Access::kUse);
+    }
+    if (ev.Failed() || rs.node == nullptr || rd.parent == nullptr) {
+      UsePath(src);
+      UsePath(dst);
+      if (rs.parent != nullptr) {
+        TouchRes(NodeResource(rs.parent), Access::kUse);
+      }
+      if (rd.parent != nullptr) {
+        TouchRes(NodeResource(rd.parent), Access::kUse);
+      }
+      return;
+    }
+    TouchRes(NodeResource(rs.parent), Access::kUse);
+    TouchRes(NodeResource(rd.parent), Access::kUse);
+    TouchRes(NodeResource(rs.node), Access::kUse);
+    bool is_dir = rs.node->type == kNodeDir;
+
+    // Every referenced path under the source moves: old generations close.
+    std::vector<std::string> moved = ReferencedPathsUnder(src);
+    // The destination (and referenced paths under it, if replacing a dir)
+    // also rebind.
+    std::vector<std::string> clobbered = ReferencedPathsUnder(dst);
+
+    if (rd.node != nullptr) {
+      TouchRes(NodeResource(rd.node), Access::kDelete);  // replaced target dies
+    }
+    // Apply the tree mutation.
+    rs.parent->children.erase(rs.leaf);
+    rd.parent->children[rd.leaf] = rs.node->id;
+
+    for (const std::string& p : moved) {
+      RebindPath(p, false, 0);
+      // The corresponding destination path becomes bound.
+      std::string suffix = p.substr(src.size());
+      std::string np = NormalizePath(dst + suffix);
+      std::vector<Node*> tmp;
+      Resolved rr = ResolvePath(np, /*follow_last=*/false, &tmp);
+      RebindPath(np, rr.node != nullptr, rr.node != nullptr ? rr.node->id : 0);
+    }
+    for (const std::string& p : clobbered) {
+      bool already = false;
+      std::string suffix_guard = dst == "/" ? "/" : dst + "/";
+      for (const std::string& m : moved) {
+        std::string suffix = m.substr(src.size());
+        if (NormalizePath(dst + suffix) == p) {
+          already = true;
+          break;
+        }
+      }
+      if (already) {
+        continue;
+      }
+      std::vector<Node*> tmp;
+      Resolved rr = ResolvePath(p, /*follow_last=*/false, &tmp);
+      RebindPath(p, rr.node != nullptr, rr.node != nullptr ? rr.node->id : 0);
+    }
+    (void)is_dir;
+  }
+
+  void Handle(const TraceEvent& ev) {
+    switch (ev.call) {
+      case Sys::kOpen:
+      case Sys::kCreat:
+      case Sys::kShmOpen: {
+        std::string norm = NormalizePath(ev.path);
+        std::vector<Node*> via;
+        bool follow = !(ev.flags & trace::kOpenNoFollow);
+        Resolved r = ResolvePath(norm, follow, &via);
+        bool creates = !ev.Failed() && (ev.flags & trace::kOpenCreate) && r.node == nullptr;
+        if (creates) {
+          UsePath(norm);
+          HandleCreateAt(ev, kNodeFile);
+          break;
+        }
+        if (!ev.Failed() && (ev.flags & trace::kOpenCreate) &&
+            (ev.flags & trace::kOpenExcl) && r.node != nullptr) {
+          // Successful exclusive create over a bound path: trace anomaly.
+          UsePath(norm);
+          HandleCreateAt(ev, kNodeFile);
+          break;
+        }
+        Node* node = UsePathTarget(ev.path, follow);
+        if (!ev.Failed() && node != nullptr) {
+          FdOpen(static_cast<int32_t>(ev.ret), node->id);
+        } else if (!ev.Failed() && node == nullptr) {
+          Warn(StrFormat("event %llu: successful open of unbound path %s",
+                         static_cast<unsigned long long>(ev.index), ev.path.c_str()));
+        }
+        break;
+      }
+      case Sys::kClose: {
+        Node* node = FdUse(ev.fd, Access::kUse);
+        if (node != nullptr) {
+          TouchRes(NodeResource(node), Access::kUse);
+        }
+        if (!ev.Failed()) {
+          FdClose(ev.fd);
+        }
+        break;
+      }
+      case Sys::kDup: {
+        Node* node = FdUse(ev.fd, Access::kUse);
+        if (node != nullptr) {
+          TouchRes(NodeResource(node), Access::kUse);
+          if (!ev.Failed()) {
+            FdOpen(static_cast<int32_t>(ev.ret), node->id);
+          }
+        }
+        break;
+      }
+      case Sys::kDup2: {
+        Node* node = FdUse(ev.fd, Access::kUse);
+        if (node != nullptr) {
+          TouchRes(NodeResource(node), Access::kUse);
+          if (!ev.Failed()) {
+            FdClose(ev.fd2);
+            FdOpen(ev.fd2, node->id);
+          }
+        }
+        break;
+      }
+      case Sys::kRead:
+      case Sys::kReadV:
+      case Sys::kPRead:
+      case Sys::kPReadV:
+      case Sys::kWrite:
+      case Sys::kWriteV:
+      case Sys::kPWrite:
+      case Sys::kPWriteV:
+      case Sys::kLSeek:
+      case Sys::kFsync:
+      case Sys::kFdatasync:
+      case Sys::kFstat:
+      case Sys::kFstatFs:
+      case Sys::kFtruncate:
+      case Sys::kFchmod:
+      case Sys::kFchown:
+      case Sys::kFutimes:
+      case Sys::kFlock:
+      case Sys::kFcntl:
+      case Sys::kIoctl:
+      case Sys::kGetDirEntries:
+      case Sys::kGetDents:
+      case Sys::kFGetXattr:
+      case Sys::kFSetXattr:
+      case Sys::kFRemoveXattr:
+      case Sys::kFListXattr:
+      case Sys::kFadvise:
+      case Sys::kFallocate:
+      case Sys::kSyncFileRange:
+      case Sys::kMmap:
+      case Sys::kSendFile:
+      case Sys::kReadahead:
+      case Sys::kFcntlFullFsync:
+      case Sys::kFcntlRdAdvise:
+      case Sys::kFcntlPreallocate:
+      case Sys::kFcntlNoCache: {
+        Node* node = FdUse(ev.fd, Access::kUse);
+        if (node != nullptr) {
+          TouchRes(NodeResource(node), Access::kUse);
+        }
+        break;
+      }
+      case Sys::kStat:
+      case Sys::kAccess:
+      case Sys::kStatFs:
+      case Sys::kChmod:
+      case Sys::kChown:
+      case Sys::kUtimes:
+      case Sys::kTruncate:
+      case Sys::kGetXattr:
+      case Sys::kSetXattr:
+      case Sys::kListXattr:
+      case Sys::kRemoveXattr:
+      case Sys::kGetAttrList:
+      case Sys::kSetAttrList:
+      case Sys::kSearchFs:
+      case Sys::kGetXattrOsx:
+      case Sys::kSetXattrOsx:
+      case Sys::kListXattrOsx:
+      case Sys::kRemoveXattrOsx:
+      case Sys::kOsxUndoc1:
+      case Sys::kOsxUndoc2:
+      case Sys::kOsxUndoc3:
+        UsePathTarget(ev.path, /*follow_last=*/true);
+        break;
+      case Sys::kLstat:
+      case Sys::kLGetXattr:
+      case Sys::kLSetXattr:
+      case Sys::kLListXattr:
+      case Sys::kLRemoveXattr:
+      case Sys::kReadlink:
+        UsePathTarget(ev.path, /*follow_last=*/false);
+        break;
+      case Sys::kMkdir:
+        if (!ev.Failed()) {
+          UsePath(NormalizePath(ev.path));
+          HandleCreateAt(ev, kNodeDir);
+        } else {
+          UsePathTarget(ev.path, /*follow_last=*/false);
+        }
+        break;
+      case Sys::kSymlink:
+        // path = target (not touched: may not exist), path2 = link name.
+        if (!ev.Failed()) {
+          UsePath(NormalizePath(ev.path2));
+          HandleCreateAt(ev, kNodeSymlink);
+        } else {
+          UsePathTarget(ev.path2, /*follow_last=*/false);
+        }
+        break;
+      case Sys::kLink: {
+        Node* target = UsePathTarget(ev.path, /*follow_last=*/true);
+        if (ev.Failed() || target == nullptr) {
+          UsePathTarget(ev.path2, /*follow_last=*/false);
+          break;
+        }
+        std::string norm = NormalizePath(ev.path2);
+        std::vector<Node*> via;
+        Resolved r = ResolvePath(norm, /*follow_last=*/false, &via);
+        if (r.parent == nullptr || r.node != nullptr) {
+          UsePathTarget(ev.path2, /*follow_last=*/false);
+          break;
+        }
+        UsePath(norm);
+        TouchRes(NodeResource(r.parent), Access::kUse);
+        target->nlink++;
+        r.parent->children[r.leaf] = target->id;
+        RebindPath(r.final_path, true, target->id);
+        break;
+      }
+      case Sys::kUnlink:
+      case Sys::kShmUnlink:
+        HandleUnlinkLike(ev, /*is_rmdir=*/false);
+        break;
+      case Sys::kRmdir:
+        HandleUnlinkLike(ev, /*is_rmdir=*/true);
+        break;
+      case Sys::kRename:
+        HandleRename(ev);
+        break;
+      case Sys::kExchangeData: {
+        // Atomic content swap: both files' data change; paths stay bound.
+        Node* a = UsePathTarget(ev.path, /*follow_last=*/true);
+        Node* b = UsePathTarget(ev.path2, /*follow_last=*/true);
+        (void)a;
+        (void)b;
+        break;
+      }
+      case Sys::kAioRead:
+      case Sys::kAioWrite: {
+        Node* node = FdUse(ev.fd, Access::kUse);
+        if (node != nullptr) {
+          TouchRes(NodeResource(node), Access::kUse);
+        }
+        if (!ev.Failed() && ev.aio_id != 0) {
+          AioState& st = aios_[ev.aio_id];
+          uint32_t prev = st.resource;
+          st.generation++;
+          st.live = true;
+          st.resource = NewResource(
+              ResourceKind::kAiocb,
+              StrFormat("aiocb:%llu@%u", static_cast<unsigned long long>(ev.aio_id),
+                        st.generation),
+              prev);
+          TouchRes(st.resource, Access::kCreate);
+        }
+        break;
+      }
+      case Sys::kAioError:
+      case Sys::kAioSuspend:
+      case Sys::kAioCancel: {
+        auto it = aios_.find(ev.aio_id);
+        if (it != aios_.end() && it->second.live) {
+          TouchRes(it->second.resource, Access::kUse);
+        }
+        break;
+      }
+      case Sys::kAioReturn: {
+        auto it = aios_.find(ev.aio_id);
+        if (it != aios_.end() && it->second.live) {
+          TouchRes(it->second.resource, Access::kDelete);
+          it->second.live = false;
+        }
+        break;
+      }
+      case Sys::kGetDirEntriesAttr: {
+        Node* node = FdUse(ev.fd, Access::kUse);
+        if (node != nullptr) {
+          TouchRes(NodeResource(node), Access::kUse);
+        }
+        break;
+      }
+      default:
+        // Calls with no file-system resources beyond the thread (sync,
+        // umask, getcwd, chdir, munmap, madvise, msync, lio_listio, ...).
+        break;
+    }
+  }
+
+  const trace::Trace& trace_;
+  AnnotatedTrace out_;
+  std::vector<Touch>* cur_ = nullptr;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Node>> nodes_;
+  uint64_t next_node_ = 1;
+  uint64_t root_ = 0;
+  std::unordered_map<std::string, PathState> paths_;
+  std::unordered_map<int32_t, FdState> fds_;
+  std::unordered_map<uint64_t, AioState> aios_;
+  std::unordered_map<uint32_t, uint32_t> thread_res_;
+};
+
+}  // namespace
+
+AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot) {
+  Annotator a(t, snapshot);
+  return a.Run();
+}
+
+}  // namespace artc::fsmodel

@@ -1,0 +1,289 @@
+#include "src/sim/simulation.h"
+
+#include <exception>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace artc::sim {
+namespace {
+
+// Thrown out of blocking primitives when the Simulation is destroyed while
+// threads are still blocked (e.g., a deadlocked test); unwinds the simulated
+// thread so its host thread can be joined.
+struct SimShutdown {};
+
+}  // namespace
+
+struct ThreadState {
+  enum class Run { kReady, kRunning, kBlocked, kDone };
+
+  SimThreadId id = kInvalidThread;
+  std::string name;
+  std::function<void()> body;
+  std::thread host;
+  Run state = Run::kReady;
+  std::vector<ThreadState*> joiners;
+  Simulation* sim = nullptr;
+};
+
+namespace {
+thread_local ThreadState* g_current = nullptr;
+}  // namespace
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() {
+  {
+    std::lock_guard<std::mutex> lk(token_mu_);
+    shutdown_ = true;
+    token_cv_.notify_all();
+  }
+  for (auto& t : threads_) {
+    if (t->host.joinable()) {
+      t->host.join();
+    }
+  }
+}
+
+SimThreadId Simulation::Spawn(std::string name, std::function<void()> body) {
+  auto t = std::make_unique<ThreadState>();
+  t->id = static_cast<SimThreadId>(threads_.size());
+  t->name = std::move(name);
+  t->body = std::move(body);
+  t->sim = this;
+  t->state = ThreadState::Run::kReady;
+  ThreadState* raw = t.get();
+  threads_.push_back(std::move(t));
+  ready_.push_back(raw);
+  raw->host = std::thread([this, raw] { ThreadMain(raw); });
+  return raw->id;
+}
+
+void Simulation::ThreadMain(ThreadState* t) {
+  // Wait to be scheduled for the first time.
+  {
+    std::unique_lock<std::mutex> lk(token_mu_);
+    token_cv_.wait(lk, [&] { return (running_ == t && !scheduler_turn_) || shutdown_; });
+    if (shutdown_) {
+      t->state = ThreadState::Run::kDone;
+      return;
+    }
+  }
+  g_current = t;
+  bool aborted = false;
+  try {
+    t->body();
+  } catch (const SimShutdown&) {
+    aborted = true;
+  }
+  t->state = ThreadState::Run::kDone;
+  if (!aborted) {
+    for (ThreadState* j : t->joiners) {
+      ARTC_CHECK(j->state == ThreadState::Run::kBlocked);
+      j->state = ThreadState::Run::kReady;
+      ready_.push_back(j);
+    }
+    t->joiners.clear();
+    // Hand the token back to the scheduler permanently.
+    std::lock_guard<std::mutex> lk(token_mu_);
+    running_ = nullptr;
+    scheduler_turn_ = true;
+    token_cv_.notify_all();
+  }
+}
+
+ThreadState* Simulation::PickReady() {
+  ARTC_CHECK(!ready_.empty());
+  size_t idx = 0;
+  if (ready_.size() > 1) {
+    idx = rng_.NextBelow(ready_.size());
+  }
+  ThreadState* t = ready_[idx];
+  ready_[idx] = ready_.back();
+  ready_.pop_back();
+  return t;
+}
+
+void Simulation::RunThread(ThreadState* t) {
+  switches_++;
+  std::unique_lock<std::mutex> lk(token_mu_);
+  t->state = ThreadState::Run::kRunning;
+  running_ = t;
+  scheduler_turn_ = false;
+  token_cv_.notify_all();
+  token_cv_.wait(lk, [&] { return scheduler_turn_; });
+}
+
+TimeNs Simulation::Run() {
+  ARTC_CHECK_MSG(g_current == nullptr, "Run() must be called from the host thread");
+  while (true) {
+    if (!ready_.empty()) {
+      RunThread(PickReady());
+      continue;
+    }
+    if (events_.empty()) {
+      break;
+    }
+    PendingEvent* ev = events_.top();
+    events_.pop();
+    if (ev->cancelled) {
+      continue;
+    }
+    ARTC_CHECK(ev->when >= now_);
+    now_ = ev->when;
+    if (ev->thread != nullptr) {
+      ARTC_CHECK(ev->thread->state == ThreadState::Run::kBlocked);
+      ev->thread->state = ThreadState::Run::kReady;
+      ready_.push_back(ev->thread);
+    } else if (ev->callback) {
+      live_callbacks_.erase(ev->callback_id);
+      auto fn = std::move(ev->callback);
+      fn();
+    }
+  }
+  return now_;
+}
+
+void Simulation::YieldToScheduler(ThreadState* t, bool runnable_again) {
+  if (runnable_again) {
+    t->state = ThreadState::Run::kReady;
+    ready_.push_back(t);
+  } else {
+    t->state = ThreadState::Run::kBlocked;
+  }
+  std::unique_lock<std::mutex> lk(token_mu_);
+  running_ = nullptr;
+  scheduler_turn_ = true;
+  token_cv_.notify_all();
+  token_cv_.wait(lk, [&] { return (running_ == t && !scheduler_turn_) || shutdown_; });
+  if (shutdown_) {
+    throw SimShutdown{};
+  }
+}
+
+void Simulation::Sleep(TimeNs duration) {
+  ARTC_CHECK(duration >= 0);
+  ThreadState* t = CurrentState();
+  auto ev = std::make_unique<PendingEvent>();
+  ev->when = now_ + duration;
+  ev->seq = seq_++;
+  ev->thread = t;
+  ev->callback_id = 0;
+  ev->cancelled = false;
+  events_.push(ev.get());
+  event_pool_.push_back(std::move(ev));
+  YieldToScheduler(t, /*runnable_again=*/false);
+}
+
+void Simulation::BlockCurrent() { YieldToScheduler(CurrentState(), /*runnable_again=*/false); }
+
+SimThreadId Simulation::CurrentThread() const {
+  return g_current != nullptr ? g_current->id : kInvalidThread;
+}
+
+const std::string& Simulation::CurrentThreadName() const {
+  static const std::string kHost = "<host>";
+  return g_current != nullptr ? g_current->name : kHost;
+}
+
+ThreadState* Simulation::CurrentState() const {
+  ARTC_CHECK_MSG(g_current != nullptr && g_current->sim == this,
+                 "not running inside a simulated thread of this simulation");
+  return g_current;
+}
+
+void Simulation::Join(SimThreadId tid) {
+  ARTC_CHECK(tid < threads_.size());
+  ThreadState* target = threads_[tid].get();
+  if (target->state == ThreadState::Run::kDone) {
+    return;
+  }
+  ThreadState* self = CurrentState();
+  target->joiners.push_back(self);
+  BlockCurrent();
+}
+
+uint64_t Simulation::ScheduleCallback(TimeNs when, std::function<void()> fn) {
+  ARTC_CHECK(when >= now_);
+  auto ev = std::make_unique<PendingEvent>();
+  ev->when = when;
+  ev->seq = seq_++;
+  ev->thread = nullptr;
+  ev->callback = std::move(fn);
+  ev->callback_id = next_callback_id_++;
+  ev->cancelled = false;
+  uint64_t id = ev->callback_id;
+  live_callbacks_[id] = ev.get();
+  events_.push(ev.get());
+  event_pool_.push_back(std::move(ev));
+  return id;
+}
+
+bool Simulation::CancelCallback(uint64_t id) {
+  auto it = live_callbacks_.find(id);
+  if (it == live_callbacks_.end()) {
+    return false;
+  }
+  it->second->cancelled = true;
+  live_callbacks_.erase(it);
+  return true;
+}
+
+void Simulation::WakeThread(ThreadState* t) {
+  ARTC_CHECK(t->state == ThreadState::Run::kBlocked);
+  t->state = ThreadState::Run::kReady;
+  ready_.push_back(t);
+}
+
+size_t Simulation::UnfinishedThreads() const {
+  size_t n = 0;
+  for (const auto& t : threads_) {
+    if (t->state != ThreadState::Run::kDone) {
+      n++;
+    }
+  }
+  return n;
+}
+
+void SimCondVar::Wait() {
+  ThreadState* self = sim_->CurrentState();
+  waiters_.push_back(self);
+  sim_->BlockCurrent();
+}
+
+void SimCondVar::NotifyOne() {
+  if (waiters_.empty()) {
+    return;
+  }
+  size_t idx = 0;
+  if (waiters_.size() > 1) {
+    idx = sim_->rng().NextBelow(waiters_.size());
+  }
+  ThreadState* t = waiters_[idx];
+  waiters_[idx] = waiters_.back();
+  waiters_.pop_back();
+  sim_->WakeThread(t);
+}
+
+void SimCondVar::NotifyAll() {
+  for (ThreadState* t : waiters_) {
+    sim_->WakeThread(t);
+  }
+  waiters_.clear();
+}
+
+void SimMutex::Lock() {
+  while (locked_) {
+    cv_.Wait();
+  }
+  locked_ = true;
+}
+
+void SimMutex::Unlock() {
+  ARTC_CHECK(locked_);
+  locked_ = false;
+  cv_.NotifyOne();
+}
+
+}  // namespace artc::sim

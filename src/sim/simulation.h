@@ -1,0 +1,201 @@
+// Discrete-event simulation engine with blocking-style simulated threads.
+//
+// Every performance experiment in this repository runs in virtual time on
+// this engine. A simulated thread is backed by a real std::thread, but only
+// one simulated thread executes at any instant: the scheduler hands a run
+// token to exactly one runnable thread and waits for it to yield (by
+// blocking on a simulated primitive, sleeping, or finishing). This lets
+// application models, the VFS, and the trace replayer be written in plain
+// blocking style while virtual time advances deterministically.
+//
+// Determinism: a run is a pure function of (program, seed). When several
+// threads are runnable at the same virtual instant, the scheduler picks one
+// with a seeded RNG — this models OS scheduling nondeterminism, and varying
+// the seed explores different interleavings of the same program.
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace artc::sim {
+
+class Simulation;
+
+// Identifies a simulated thread. Dense, starting at 0.
+using SimThreadId = uint32_t;
+inline constexpr SimThreadId kInvalidThread = UINT32_MAX;
+
+// Internal per-thread record. Exposed only so SimCondVar can hold pointers.
+struct ThreadState;
+
+// A condition variable for simulated threads. All waits are in virtual time;
+// there is no spurious wakeup, but users should still re-check predicates
+// because another thread may run between notify and wakeup.
+class SimCondVar {
+ public:
+  explicit SimCondVar(Simulation* simulation) : sim_(simulation) {}
+  SimCondVar(const SimCondVar&) = delete;
+  SimCondVar& operator=(const SimCondVar&) = delete;
+
+  // Blocks the calling simulated thread until notified.
+  void Wait();
+  // Wakes one waiter (seeded-random choice among waiters).
+  void NotifyOne();
+  // Wakes all waiters.
+  void NotifyAll();
+
+ private:
+  Simulation* sim_;
+  std::vector<ThreadState*> waiters_;
+};
+
+// A mutex for simulated threads. Execution is serialized by the run token,
+// so this exists to model *contention* (waiting in virtual time), not to
+// protect memory.
+class SimMutex {
+ public:
+  explicit SimMutex(Simulation* simulation) : sim_(simulation), cv_(simulation) {}
+  void Lock();
+  void Unlock();
+  bool Held() const { return locked_; }
+
+ private:
+  Simulation* sim_;
+  SimCondVar cv_;
+  bool locked_ = false;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current virtual time. Callable from simulated threads and callbacks.
+  TimeNs Now() const { return now_; }
+
+  // Creates a simulated thread. May be called before Run() or from within a
+  // running simulated thread. The new thread becomes runnable at the current
+  // virtual time.
+  SimThreadId Spawn(std::string name, std::function<void()> body);
+
+  // Runs the simulation until no runnable threads or pending events remain.
+  // Must be called from the host (non-simulated) thread. Returns final time.
+  TimeNs Run();
+
+  // ---- Calls below are only legal from within a simulated thread. ----
+
+  // Advances virtual time for the calling thread.
+  void Sleep(TimeNs duration);
+
+  // Blocks the calling thread until another thread wakes it via WakeThread.
+  // Used by SimCondVar; rarely needed directly.
+  void BlockCurrent();
+
+  // Id and name of the calling simulated thread.
+  SimThreadId CurrentThread() const;
+  const std::string& CurrentThreadName() const;
+
+  // Joins a simulated thread (blocks the caller in virtual time).
+  void Join(SimThreadId tid);
+
+  // ---- Callable from anywhere inside the simulation. ----
+
+  // Schedules fn to run in scheduler context at virtual time `when`
+  // (>= Now()). Callbacks must not block; they may wake threads and schedule
+  // further callbacks. Returns an id usable with CancelCallback.
+  uint64_t ScheduleCallback(TimeNs when, std::function<void()> fn);
+  // Best-effort cancel; returns false if already fired or unknown.
+  bool CancelCallback(uint64_t id);
+
+  // Makes a blocked thread runnable at the current virtual time.
+  void WakeThread(ThreadState* t);
+
+  // Seeded RNG for scheduler-level nondeterminism; also available to
+  // workloads that want reproducible randomness tied to the run.
+  Rng& rng() { return rng_; }
+
+  // Total context switches performed (diagnostics).
+  uint64_t switch_count() const { return switches_; }
+
+  // Number of simulated threads that have not run to completion. Nonzero
+  // after Run() indicates a deadlock in the simulated program.
+  size_t UnfinishedThreads() const;
+
+  ThreadState* CurrentState() const;
+
+ private:
+  friend class SimCondVar;
+  friend class SimMutex;
+
+  struct PendingEvent {
+    TimeNs when;
+    uint64_t seq;  // tie-break for stable ordering
+    ThreadState* thread;              // wake this thread, or
+    std::function<void()> callback;   // run this callback
+    uint64_t callback_id;
+    bool cancelled;
+  };
+  struct EventCompare {
+    bool operator()(const PendingEvent* a, const PendingEvent* b) const {
+      if (a->when != b->when) {
+        return a->when > b->when;
+      }
+      return a->seq > b->seq;
+    }
+  };
+
+  void RunThread(ThreadState* t);       // scheduler: transfer token to t
+  void YieldToScheduler(ThreadState* t, bool runnable_again);
+  void ThreadMain(ThreadState* t);      // host-thread trampoline
+  ThreadState* PickReady();
+
+  TimeNs now_ = 0;
+  Rng rng_;
+  uint64_t seq_ = 0;
+  uint64_t switches_ = 0;
+  uint64_t next_callback_id_ = 1;
+
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::vector<ThreadState*> ready_;
+  std::priority_queue<PendingEvent*, std::vector<PendingEvent*>, EventCompare> events_;
+  std::deque<std::unique_ptr<PendingEvent>> event_pool_;
+  std::unordered_map<uint64_t, PendingEvent*> live_callbacks_;
+
+  // Host-level synchronization implementing the run token.
+  std::mutex token_mu_;
+  std::condition_variable token_cv_;
+  ThreadState* running_ = nullptr;   // simulated thread holding the token
+  bool scheduler_turn_ = true;
+  bool shutdown_ = false;
+};
+
+// RAII lock for SimMutex.
+class SimLockGuard {
+ public:
+  explicit SimLockGuard(SimMutex& mu) : mu_(mu) { mu_.Lock(); }
+  ~SimLockGuard() { mu_.Unlock(); }
+  SimLockGuard(const SimLockGuard&) = delete;
+  SimLockGuard& operator=(const SimLockGuard&) = delete;
+
+ private:
+  SimMutex& mu_;
+};
+
+}  // namespace artc::sim
+
+#endif  // SRC_SIM_SIMULATION_H_

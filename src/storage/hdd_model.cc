@@ -1,0 +1,106 @@
+#include "src/storage/hdd_model.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace artc::storage {
+
+HddModel::HddModel(sim::Simulation* simulation, HddParams params)
+    : sim_(simulation), params_(params) {
+  double bytes_per_rev = params_.bandwidth_bytes_per_sec *
+                         (static_cast<double>(params_.rotation_period) / kNsPerSec);
+  blocks_per_track_ = static_cast<uint64_t>(bytes_per_rev / kBlockSize);
+  ARTC_CHECK(blocks_per_track_ > 0);
+}
+
+TimeNs HddModel::SeekTime(uint64_t head, uint64_t lba) const {
+  if (lba == head) {
+    return 0;
+  }
+  uint64_t distance = lba > head ? lba - head : head - lba;
+  if (distance <= params_.near_threshold) {
+    return params_.settle;
+  }
+  double frac = static_cast<double>(distance) / static_cast<double>(params_.capacity_blocks);
+  if (frac > 1.0) {
+    frac = 1.0;
+  }
+  return params_.seek_min +
+         static_cast<TimeNs>(std::sqrt(frac) *
+                             static_cast<double>(params_.seek_max - params_.seek_min));
+}
+
+double HddModel::BlockAngle(uint64_t lba) const {
+  return static_cast<double>(lba % blocks_per_track_) /
+         static_cast<double>(blocks_per_track_);
+}
+
+double HddModel::PlatterAngle(TimeNs t) const {
+  TimeNs within = t % params_.rotation_period;
+  return static_cast<double>(within) / static_cast<double>(params_.rotation_period);
+}
+
+TimeNs HddModel::ServiceTime(TimeNs now, uint64_t head, uint64_t lba,
+                             uint32_t nblocks) const {
+  TimeNs positioning = 0;
+  if (lba != head) {
+    TimeNs seek = SeekTime(head, lba);
+    // Rotational latency: wait for the target block to come under the head
+    // after the arm arrives.
+    double arrive = PlatterAngle(now + seek);
+    double target = BlockAngle(lba);
+    double wait = target - arrive;
+    if (wait < 0) {
+      wait += 1.0;
+    }
+    positioning = seek + static_cast<TimeNs>(
+                             wait * static_cast<double>(params_.rotation_period));
+  }
+  double bytes = static_cast<double>(nblocks) * kBlockSize;
+  TimeNs transfer = static_cast<TimeNs>(bytes / params_.bandwidth_bytes_per_sec * kNsPerSec);
+  return positioning + transfer;
+}
+
+void HddModel::Submit(BlockRequest req) {
+  ARTC_CHECK(req.done != nullptr);
+  ARTC_CHECK(req.lba + req.nblocks <= params_.capacity_blocks);
+  pending_.push_back(std::move(req));
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void HddModel::StartNext() {
+  if (pending_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  // Native command queuing: pick the pending request with the lowest total
+  // positioning cost (seek + rotation) from the current head position.
+  TimeNs now = sim_->Now();
+  size_t best = 0;
+  TimeNs best_cost = INT64_MAX;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    TimeNs cost = ServiceTime(now, head_, pending_[i].lba, 0);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  BlockRequest req = std::move(pending_[best]);
+  pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(best));
+  TimeNs t = ServiceTime(now, head_, req.lba, req.nblocks);
+  total_positioning_ += ServiceTime(now, head_, req.lba, 0);
+  serviced_++;
+  head_ = req.lba + req.nblocks;
+  auto done = std::move(req.done);
+  sim_->ScheduleCallback(now + t, [this, done = std::move(done)] {
+    done();
+    StartNext();
+  });
+}
+
+}  // namespace artc::storage

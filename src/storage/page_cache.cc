@@ -1,0 +1,136 @@
+#include "src/storage/page_cache.h"
+
+#include "src/util/check.h"
+
+namespace artc::storage {
+
+PageCache::PageCache(sim::Simulation* simulation, IoScheduler* scheduler,
+                     PageCacheParams params)
+    : sim_(simulation), scheduler_(scheduler), params_(params) {
+  (void)sim_;
+  (void)scheduler_;
+}
+
+bool PageCache::Resident(uint64_t lba, uint32_t nblocks) const {
+  for (uint64_t b = lba; b < lba + nblocks; ++b) {
+    if (map_.find(b) == map_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PageCache::InsertClean(uint64_t lba, uint32_t nblocks) {
+  for (uint64_t b = lba; b < lba + nblocks; ++b) {
+    auto it = map_.find(b);
+    if (it != map_.end()) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(b);
+      it->second.lru_it = lru_.begin();
+      continue;
+    }
+    lru_.push_front(b);
+    map_[b] = Entry{lru_.begin(), /*dirty=*/false};
+  }
+}
+
+void PageCache::InsertDirty(uint64_t lba, uint32_t nblocks) {
+  for (uint64_t b = lba; b < lba + nblocks; ++b) {
+    auto it = map_.find(b);
+    if (it != map_.end()) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(b);
+      it->second.lru_it = lru_.begin();
+      if (!it->second.dirty) {
+        it->second.dirty = true;
+        dirty_count_++;
+      }
+      continue;
+    }
+    lru_.push_front(b);
+    map_[b] = Entry{lru_.begin(), /*dirty=*/true};
+    dirty_count_++;
+  }
+}
+
+void PageCache::Touch(uint64_t lba, uint32_t nblocks) {
+  for (uint64_t b = lba; b < lba + nblocks; ++b) {
+    auto it = map_.find(b);
+    if (it != map_.end()) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(b);
+      it->second.lru_it = lru_.begin();
+    }
+  }
+}
+
+void PageCache::Invalidate(uint64_t lba, uint32_t nblocks) {
+  for (uint64_t b = lba; b < lba + nblocks; ++b) {
+    auto it = map_.find(b);
+    if (it != map_.end()) {
+      if (it->second.dirty) {
+        dirty_count_--;
+      }
+      lru_.erase(it->second.lru_it);
+      map_.erase(it);
+    }
+  }
+}
+
+std::vector<uint64_t> PageCache::CollectDirty(uint64_t lba, uint32_t nblocks) {
+  std::vector<uint64_t> out;
+  for (uint64_t b = lba; b < lba + nblocks; ++b) {
+    auto it = map_.find(b);
+    if (it != map_.end() && it->second.dirty) {
+      it->second.dirty = false;
+      dirty_count_--;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> PageCache::CollectOldestDirty(uint32_t max_blocks) {
+  std::vector<uint64_t> out;
+  for (auto it = lru_.rbegin(); it != lru_.rend() && out.size() < max_blocks; ++it) {
+    auto e = map_.find(*it);
+    ARTC_CHECK(e != map_.end());
+    if (e->second.dirty) {
+      e->second.dirty = false;
+      dirty_count_--;
+      out.push_back(*it);
+    }
+  }
+  return out;
+}
+
+bool PageCache::OverDirtyLimit() const {
+  return static_cast<double>(dirty_count_) >
+         params_.dirty_ratio * static_cast<double>(params_.capacity_blocks);
+}
+
+std::vector<uint64_t> PageCache::EvictToCapacity() {
+  std::vector<uint64_t> dirty_evicted;
+  while (map_.size() > params_.capacity_blocks) {
+    // Prefer the oldest clean block; if the tail is dirty, it must be
+    // written out by the caller before the space can be reused.
+    uint64_t victim = lru_.back();
+    auto it = map_.find(victim);
+    ARTC_CHECK(it != map_.end());
+    if (it->second.dirty) {
+      dirty_count_--;
+      dirty_evicted.push_back(victim);
+    }
+    lru_.pop_back();
+    map_.erase(it);
+  }
+  return dirty_evicted;
+}
+
+void PageCache::DropAll() {
+  lru_.clear();
+  map_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace artc::storage

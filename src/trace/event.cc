@@ -1,0 +1,116 @@
+#include "src/trace/event.h"
+
+#include <algorithm>
+
+#include <unordered_set>
+
+#include "src/util/strings.h"
+
+namespace artc::trace {
+
+const char* ErrnoName(int err) {
+  switch (err) {
+    case 0:
+      return "OK";
+    case kEPERM:
+      return "EPERM";
+    case kENOENT:
+      return "ENOENT";
+    case kEBADF:
+      return "EBADF";
+    case kEACCES:
+      return "EACCES";
+    case kEEXIST:
+      return "EEXIST";
+    case kEXDEV:
+      return "EXDEV";
+    case kENOTDIR:
+      return "ENOTDIR";
+    case kEISDIR:
+      return "EISDIR";
+    case kEINVAL:
+      return "EINVAL";
+    case kENOSPC:
+      return "ENOSPC";
+    case kEROFS:
+      return "EROFS";
+    case kERANGE:
+      return "ERANGE";
+    case kENOTEMPTY:
+      return "ENOTEMPTY";
+    case kELOOP:
+      return "ELOOP";
+    case kENODATA:
+      return "ENODATA";
+    case kENOTSUP:
+      return "ENOTSUP";
+    default:
+      return "E?";
+  }
+}
+
+void Trace::SortByEnterTime() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.enter < b.enter;
+                   });
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].index = i;
+  }
+}
+
+std::vector<uint32_t> Trace::ThreadIds() const {
+  std::vector<uint32_t> out;
+  std::unordered_set<uint32_t> seen;
+  for (const TraceEvent& ev : events) {
+    if (seen.insert(ev.tid).second) {
+      out.push_back(ev.tid);
+    }
+  }
+  return out;
+}
+
+std::string FormatEvent(const TraceEvent& ev) {
+  std::string line = StrFormat("%llu %u %lld %lld %s ret=%lld",
+                               static_cast<unsigned long long>(ev.index), ev.tid,
+                               static_cast<long long>(ev.enter),
+                               static_cast<long long>(ev.ret_time),
+                               std::string(SysName(ev.call)).c_str(),
+                               static_cast<long long>(ev.ret));
+  if (!ev.path.empty()) {
+    line += StrFormat(" path=\"%s\"", ev.path.c_str());
+  }
+  if (!ev.path2.empty()) {
+    line += StrFormat(" path2=\"%s\"", ev.path2.c_str());
+  }
+  if (ev.fd >= 0) {
+    line += StrFormat(" fd=%d", ev.fd);
+  }
+  if (ev.fd2 >= 0) {
+    line += StrFormat(" fd2=%d", ev.fd2);
+  }
+  if (ev.offset >= 0) {
+    line += StrFormat(" off=%lld", static_cast<long long>(ev.offset));
+  }
+  if (ev.size != 0) {
+    line += StrFormat(" size=%llu", static_cast<unsigned long long>(ev.size));
+  }
+  if (ev.flags != 0) {
+    line += StrFormat(" flags=0x%x", ev.flags);
+  }
+  if (ev.mode != 0) {
+    line += StrFormat(" mode=0%o", ev.mode);
+  }
+  if (ev.whence != 0) {
+    line += StrFormat(" whence=%d", ev.whence);
+  }
+  if (!ev.name.empty()) {
+    line += StrFormat(" name=\"%s\"", ev.name.c_str());
+  }
+  if (ev.aio_id != 0) {
+    line += StrFormat(" aio=%llu", static_cast<unsigned long long>(ev.aio_id));
+  }
+  return line;
+}
+
+}  // namespace artc::trace

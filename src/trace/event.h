@@ -1,0 +1,83 @@
+// Trace model: a trace is a totally-ordered series of actions (Sec. 3.1).
+// TraceEvent records exactly the information the ARTC compiler requires for
+// each call: entry/return timestamps, issuing thread, call type, parameters,
+// and return value (Sec. 4.3.1).
+#ifndef SRC_TRACE_EVENT_H_
+#define SRC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/syscalls.h"
+#include "src/util/time.h"
+
+namespace artc::trace {
+
+// Return value convention: ret >= 0 is the call's success return; ret < 0 is
+// -errno. Portable errno values (host values differ across platforms):
+inline constexpr int kEPERM = 1;
+inline constexpr int kENOENT = 2;
+inline constexpr int kEBADF = 9;
+inline constexpr int kEACCES = 13;
+inline constexpr int kEEXIST = 17;
+inline constexpr int kEXDEV = 18;
+inline constexpr int kENOTDIR = 20;
+inline constexpr int kEISDIR = 21;
+inline constexpr int kEINVAL = 22;
+inline constexpr int kENOSPC = 28;
+inline constexpr int kEROFS = 30;
+inline constexpr int kERANGE = 34;
+inline constexpr int kENOTEMPTY = 39;
+inline constexpr int kELOOP = 40;
+inline constexpr int kENODATA = 61;
+inline constexpr int kENOATTR = kENODATA;
+inline constexpr int kENOTSUP = 95;
+
+const char* ErrnoName(int err);
+
+struct TraceEvent {
+  uint64_t index = 0;     // position in the trace (dense, from 0)
+  uint32_t tid = 0;       // numeric id of the issuing thread
+  Sys call = Sys::kCount;
+  TimeNs enter = 0;       // entry timestamp
+  TimeNs ret_time = 0;    // return timestamp
+  int64_t ret = 0;        // return value or -errno
+
+  // Parameters. Unused fields keep their defaults; which fields are
+  // meaningful depends on `call`.
+  std::string path;       // primary path argument
+  std::string path2;      // second path (rename/link/symlink target)
+  int32_t fd = -1;        // primary fd argument
+  int32_t fd2 = -1;       // dup2's new fd
+  int64_t offset = -1;    // pread/pwrite/lseek offset
+  uint64_t size = 0;      // byte count / truncate length
+  uint32_t flags = 0;     // portable open flags / call-specific flags
+  uint32_t mode = 0;      // creation mode
+  int32_t whence = 0;     // lseek whence
+  std::string name;       // xattr name
+  uint64_t aio_id = 0;    // identity of the aiocb for aio_* calls
+
+  TimeNs Duration() const { return ret_time - enter; }
+  bool Failed() const { return ret < 0; }
+  int Errno() const { return ret < 0 ? static_cast<int>(-ret) : 0; }
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;
+  // Thread ids appearing in the trace, in order of first appearance.
+  std::vector<uint32_t> ThreadIds() const;
+  size_t size() const { return events.size(); }
+  // Re-sorts events by entry timestamp (stable) and reindexes densely.
+  // Recorders append an event when its call *returns*, so a freshly captured
+  // trace is in completion order; all trace consumers expect issue order.
+  void SortByEnterTime();
+};
+
+// Renders one event as a single line of the native trace format (also used
+// in logs and error messages).
+std::string FormatEvent(const TraceEvent& ev);
+
+}  // namespace artc::trace
+
+#endif  // SRC_TRACE_EVENT_H_

@@ -1,0 +1,580 @@
+#include "src/trace/strace_parser.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace artc::trace {
+namespace {
+
+// A parsed strace argument: a quoted string, a bare token (number, flag
+// expression, symbol), or a braced/bracketed blob we don't interpret.
+struct Arg {
+  std::string text;
+  bool quoted = false;
+};
+
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view s) : s_(s) {}
+
+  void SkipSpace() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) {
+      pos_++;
+    }
+  }
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  std::string_view TakeUntil(char c) {
+    size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != c) {
+      pos_++;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+  std::string_view TakeWhileToken() {
+    size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ' ' && s_[pos_] != '(' && s_[pos_] != '\t') {
+      pos_++;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+  std::string_view Rest() const { return s_.substr(pos_); }
+  size_t pos() const { return pos_; }
+  void set_pos(size_t p) { pos_ = p; }
+
+  // Parses one argument of a call, stopping at ',' or ')' at depth 0.
+  bool ParseArg(Arg* out) {
+    SkipSpace();
+    out->text.clear();
+    out->quoted = false;
+    if (Consume('"')) {
+      out->quoted = true;
+      while (pos_ < s_.size() && s_[pos_] != '"') {
+        char c = s_[pos_++];
+        if (c == '\\' && pos_ < s_.size()) {
+          char e = s_[pos_++];
+          switch (e) {
+            case 'n':
+              out->text.push_back('\n');
+              break;
+            case 't':
+              out->text.push_back('\t');
+              break;
+            default:
+              out->text.push_back(e);
+          }
+        } else {
+          out->text.push_back(c);
+        }
+      }
+      if (!Consume('"')) {
+        return false;
+      }
+      // strace may append "..." after truncated strings.
+      while (Consume('.')) {
+      }
+      return true;
+    }
+    int depth = 0;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (depth == 0 && (c == ',' || c == ')')) {
+        break;
+      }
+      if (c == '{' || c == '[' || c == '(') {
+        depth++;
+      }
+      if (c == '}' || c == ']' || c == ')') {
+        depth--;
+      }
+      out->text.push_back(c);
+      pos_++;
+    }
+    // Trim trailing spaces.
+    while (!out->text.empty() && out->text.back() == ' ') {
+      out->text.pop_back();
+    }
+    return true;
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+bool ParseNumber(std::string_view s, int64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  std::string tmp(s);
+  char* end = nullptr;
+  errno = 0;
+  long long v = strtoll(tmp.c_str(), &end, 0);
+  if (errno != 0 || end == tmp.c_str()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Base-10 parse for timestamp fractions: "000012" must read as 12, not be
+// misinterpreted as octal by base-0 strtoll.
+bool ParseDecimal(std::string_view s, int64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  std::string tmp(s);
+  char* end = nullptr;
+  errno = 0;
+  long long v = strtoll(tmp.c_str(), &end, 10);
+  if (errno != 0 || end != tmp.c_str() + tmp.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+uint32_t ParseOpenFlags(std::string_view expr) {
+  uint32_t flags = 0;
+  bool wronly = false;
+  bool rdwr = false;
+  for (std::string_view f : SplitString(expr, '|')) {
+    if (f == "O_RDONLY") {
+      // read access set below
+    } else if (f == "O_WRONLY") {
+      wronly = true;
+    } else if (f == "O_RDWR") {
+      rdwr = true;
+    } else if (f == "O_CREAT") {
+      flags |= kOpenCreate;
+    } else if (f == "O_EXCL") {
+      flags |= kOpenExcl;
+    } else if (f == "O_TRUNC") {
+      flags |= kOpenTrunc;
+    } else if (f == "O_APPEND") {
+      flags |= kOpenAppend;
+    } else if (f == "O_DIRECTORY") {
+      flags |= kOpenDirectory;
+    } else if (f == "O_NOFOLLOW") {
+      flags |= kOpenNoFollow;
+    }
+    // O_CLOEXEC, O_NONBLOCK, etc. carry no replay meaning.
+  }
+  if (rdwr) {
+    flags |= kOpenRead | kOpenWrite;
+  } else if (wronly) {
+    flags |= kOpenWrite;
+  } else {
+    flags |= kOpenRead;
+  }
+  return flags;
+}
+
+int PortableErrnoFromName(std::string_view name) {
+  struct Pair {
+    std::string_view n;
+    int v;
+  };
+  static constexpr Pair kMap[] = {
+      {"EPERM", kEPERM},       {"ENOENT", kENOENT},       {"EBADF", kEBADF},
+      {"EACCES", kEACCES},     {"EEXIST", kEEXIST},       {"EXDEV", kEXDEV},
+      {"ENOTDIR", kENOTDIR},   {"EISDIR", kEISDIR},       {"EINVAL", kEINVAL},
+      {"ENOSPC", kENOSPC},     {"EROFS", kEROFS},         {"ERANGE", kERANGE},
+      {"ENOTEMPTY", kENOTEMPTY}, {"ELOOP", kELOOP},       {"ENODATA", kENODATA},
+      {"ENOATTR", kENOATTR},   {"ENOTSUP", kENOTSUP},     {"EOPNOTSUPP", kENOTSUP},
+  };
+  for (const Pair& p : kMap) {
+    if (p.n == name) {
+      return p.v;
+    }
+  }
+  return kEINVAL;  // conservative default for unmapped errnos
+}
+
+int32_t FdArg(const std::vector<Arg>& args, size_t i) {
+  if (i >= args.size()) {
+    return -1;
+  }
+  int64_t v = -1;
+  std::string_view text = args[i].text;
+  // strace -y decorates fds as "3</path>"; take the leading integer.
+  size_t lt = text.find('<');
+  if (lt != std::string_view::npos) {
+    text = text.substr(0, lt);
+  }
+  if (!ParseNumber(text, &v)) {
+    return -1;
+  }
+  return static_cast<int32_t>(v);
+}
+
+}  // namespace
+
+bool ParseStraceLine(std::string_view line, TraceEvent* out, std::string* error) {
+  LineScanner sc(line);
+  sc.SkipSpace();
+  if (sc.AtEnd() || sc.Peek() == '#') {
+    *error = "";
+    return false;
+  }
+
+  auto fail = [&](const char* msg) {
+    *error = StrFormat("%s: %.120s", msg, std::string(line).c_str());
+    return false;
+  };
+
+  // Optional pid column.
+  size_t mark = sc.pos();
+  std::string_view first = sc.TakeWhileToken();
+  int64_t pid = 0;
+  int64_t ts_int = 0;
+  TimeNs enter = 0;
+  if (first.find('.') == std::string_view::npos && ParseNumber(first, &pid)) {
+    sc.SkipSpace();
+  } else {
+    pid = 0;
+    sc.set_pos(mark);
+  }
+  // Timestamp (epoch seconds with fraction) — required.
+  std::string_view ts = sc.TakeWhileToken();
+  size_t dot = ts.find('.');
+  if (dot == std::string_view::npos) {
+    return fail("missing -ttt timestamp");
+  }
+  int64_t frac = 0;
+  if (!ParseDecimal(ts.substr(0, dot), &ts_int) ||
+      !ParseDecimal(ts.substr(dot + 1), &frac)) {
+    return fail("bad timestamp");
+  }
+  // Fractional digits to nanoseconds.
+  size_t frac_digits = ts.size() - dot - 1;
+  int64_t frac_ns = frac;
+  for (size_t i = frac_digits; i < 9; ++i) {
+    frac_ns *= 10;
+  }
+  enter = ts_int * kNsPerSec + frac_ns;
+
+  sc.SkipSpace();
+  // Resumption / signal / exit lines are skipped, as are interrupted calls
+  // ("<unfinished ...>"); strace emits a "resumed" line for those later.
+  if (sc.Peek() == '<' || sc.Peek() == '-' || sc.Peek() == '+' ||
+      sc.Rest().find("<unfinished") != std::string_view::npos) {
+    *error = "";
+    return false;
+  }
+  std::string_view call_name = sc.TakeWhileToken();
+  // Strip strace's 64-suffixes and _nocancel variants.
+  std::string canonical(call_name);
+  if (EndsWith(canonical, "64")) {
+    canonical.resize(canonical.size() - 2);
+  }
+  constexpr std::string_view kNoCancel = "_nocancel";
+  if (EndsWith(canonical, kNoCancel)) {
+    canonical.resize(canonical.size() - kNoCancel.size());
+  }
+  if (canonical == "pread" || canonical == "pwrite") {
+    // Linux names them pread64/pwrite64; already normalized above.
+  }
+  Sys call = SysFromName(canonical);
+  if (call == Sys::kCount) {
+    return fail("unknown call");
+  }
+  if (!sc.Consume('(')) {
+    return fail("expected '('");
+  }
+  std::vector<Arg> args;
+  if (!sc.Consume(')')) {
+    while (true) {
+      Arg a;
+      if (!sc.ParseArg(&a)) {
+        return fail("bad argument");
+      }
+      args.push_back(std::move(a));
+      if (sc.Consume(')')) {
+        break;
+      }
+      if (!sc.Consume(',')) {
+        return fail("expected ','");
+      }
+    }
+  }
+  sc.SkipSpace();
+  if (!sc.Consume('=')) {
+    // Unfinished call (e.g. "<unfinished ...>"): skip.
+    *error = "";
+    return false;
+  }
+  sc.SkipSpace();
+  std::string_view rest = sc.Rest();
+  // Return value, then optional "ERRNO (text)", then optional "<dur>".
+  LineScanner rs(rest);
+  std::string_view retv = rs.TakeWhileToken();
+  int64_t ret = 0;
+  if (retv == "?") {
+    *error = "";
+    return false;
+  }
+  if (!ParseNumber(retv, &ret)) {
+    return fail("bad return value");
+  }
+  rs.SkipSpace();
+  if (ret < 0) {
+    std::string_view err_name = rs.TakeWhileToken();
+    if (!err_name.empty() && err_name[0] == 'E') {
+      ret = -PortableErrnoFromName(err_name);
+    }
+  }
+  // Duration "<0.000123>" at end of line.
+  TimeNs duration = 0;
+  size_t lt = rest.rfind('<');
+  size_t gt = rest.rfind('>');
+  if (lt != std::string_view::npos && gt != std::string_view::npos && gt > lt) {
+    std::string_view dur = rest.substr(lt + 1, gt - lt - 1);
+    size_t ddot = dur.find('.');
+    int64_t secs = 0;
+    int64_t dfrac = 0;
+    if (ddot != std::string_view::npos && ParseDecimal(dur.substr(0, ddot), &secs) &&
+        ParseDecimal(dur.substr(ddot + 1), &dfrac)) {
+      int64_t dfrac_ns = dfrac;
+      for (size_t i = dur.size() - ddot - 1; i < 9; ++i) {
+        dfrac_ns *= 10;
+      }
+      duration = secs * kNsPerSec + dfrac_ns;
+    }
+  }
+
+  TraceEvent ev;
+  ev.tid = static_cast<uint32_t>(pid);
+  ev.call = call;
+  ev.enter = enter;
+  ev.ret_time = enter + duration;
+  ev.ret = ret;
+
+  auto path_arg = [&](size_t i) -> std::string {
+    return i < args.size() && args[i].quoted ? args[i].text : std::string();
+  };
+  auto num_arg = [&](size_t i) -> int64_t {
+    int64_t v = 0;
+    if (i < args.size()) {
+      ParseNumber(args[i].text, &v);
+    }
+    return v;
+  };
+
+  switch (call) {
+    case Sys::kOpen:
+      ev.path = path_arg(0);
+      ev.flags = args.size() > 1 ? ParseOpenFlags(args[1].text) : kOpenRead;
+      ev.mode = static_cast<uint32_t>(num_arg(2));
+      if (ret >= 0) {
+        ev.fd = static_cast<int32_t>(ret);
+      }
+      break;
+    case Sys::kOpenAt:
+      // args: dirfd, path, flags, mode. Only AT_FDCWD/absolute supported.
+      ev.call = Sys::kOpen;
+      ev.path = path_arg(1);
+      ev.flags = args.size() > 2 ? ParseOpenFlags(args[2].text) : kOpenRead;
+      ev.mode = static_cast<uint32_t>(num_arg(3));
+      if (ret >= 0) {
+        ev.fd = static_cast<int32_t>(ret);
+      }
+      break;
+    case Sys::kCreat:
+      ev.path = path_arg(0);
+      ev.flags = kOpenWrite | kOpenCreate | kOpenTrunc;
+      ev.mode = static_cast<uint32_t>(num_arg(1));
+      if (ret >= 0) {
+        ev.fd = static_cast<int32_t>(ret);
+      }
+      break;
+    case Sys::kClose:
+    case Sys::kFsync:
+    case Sys::kFdatasync:
+    case Sys::kFstat:
+    case Sys::kFstatFs:
+    case Sys::kFchmod:
+    case Sys::kFchown:
+    case Sys::kFutimes:
+    case Sys::kFlock:
+    case Sys::kFcntl:
+    case Sys::kIoctl:
+    case Sys::kFchdir:
+      ev.fd = FdArg(args, 0);
+      break;
+    case Sys::kDup:
+      ev.fd = FdArg(args, 0);
+      if (ret >= 0) {
+        ev.fd2 = static_cast<int32_t>(ret);
+      }
+      break;
+    case Sys::kDup2:
+      ev.fd = FdArg(args, 0);
+      ev.fd2 = FdArg(args, 1);
+      break;
+    case Sys::kRead:
+    case Sys::kWrite:
+    case Sys::kReadV:
+    case Sys::kWriteV:
+    case Sys::kGetDents:
+    case Sys::kGetDirEntries:
+      ev.fd = FdArg(args, 0);
+      ev.size = static_cast<uint64_t>(num_arg(2));
+      break;
+    case Sys::kPRead:
+    case Sys::kPWrite:
+    case Sys::kPReadV:
+    case Sys::kPWriteV:
+      ev.fd = FdArg(args, 0);
+      ev.size = static_cast<uint64_t>(num_arg(2));
+      ev.offset = num_arg(3);
+      break;
+    case Sys::kLSeek:
+      ev.fd = FdArg(args, 0);
+      ev.offset = num_arg(1);
+      if (args.size() > 2) {
+        if (args[2].text == "SEEK_SET") {
+          ev.whence = 0;
+        } else if (args[2].text == "SEEK_CUR") {
+          ev.whence = 1;
+        } else if (args[2].text == "SEEK_END") {
+          ev.whence = 2;
+        }
+      }
+      break;
+    case Sys::kFtruncate:
+      ev.fd = FdArg(args, 0);
+      ev.size = static_cast<uint64_t>(num_arg(1));
+      break;
+    case Sys::kTruncate:
+      ev.path = path_arg(0);
+      ev.size = static_cast<uint64_t>(num_arg(1));
+      break;
+    case Sys::kStat:
+    case Sys::kLstat:
+    case Sys::kAccess:
+    case Sys::kStatFs:
+    case Sys::kRmdir:
+    case Sys::kUnlink:
+    case Sys::kReadlink:
+    case Sys::kChdir:
+    case Sys::kChmod:
+    case Sys::kChown:
+    case Sys::kLchown:
+    case Sys::kUtimes:
+    case Sys::kShmUnlink:
+      ev.path = path_arg(0);
+      break;
+    case Sys::kMkdir:
+      ev.path = path_arg(0);
+      ev.mode = static_cast<uint32_t>(num_arg(1));
+      break;
+    case Sys::kRename:
+    case Sys::kLink:
+    case Sys::kSymlink:
+    case Sys::kExchangeData:
+      ev.path = path_arg(0);
+      ev.path2 = path_arg(1);
+      break;
+    case Sys::kUnlinkAt:
+      ev.call = Sys::kUnlink;
+      ev.path = path_arg(1);
+      break;
+    case Sys::kRenameAt:
+      ev.call = Sys::kRename;
+      ev.path = path_arg(1);
+      ev.path2 = path_arg(3);
+      break;
+    case Sys::kGetXattr:
+    case Sys::kLGetXattr:
+    case Sys::kSetXattr:
+    case Sys::kLSetXattr:
+    case Sys::kRemoveXattr:
+    case Sys::kLRemoveXattr:
+      ev.path = path_arg(0);
+      ev.name = path_arg(1);
+      if (call == Sys::kSetXattr || call == Sys::kLSetXattr) {
+        ev.size = static_cast<uint64_t>(num_arg(3));
+      }
+      break;
+    case Sys::kFGetXattr:
+    case Sys::kFSetXattr:
+    case Sys::kFRemoveXattr:
+    case Sys::kFListXattr:
+      ev.fd = FdArg(args, 0);
+      ev.name = path_arg(1);
+      break;
+    case Sys::kListXattr:
+    case Sys::kLListXattr:
+      ev.path = path_arg(0);
+      break;
+    case Sys::kShmOpen:
+      ev.path = path_arg(0);
+      ev.flags = args.size() > 1 ? ParseOpenFlags(args[1].text) : kOpenRead;
+      if (ret >= 0) {
+        ev.fd = static_cast<int32_t>(ret);
+      }
+      break;
+    case Sys::kFadvise:
+    case Sys::kSyncFileRange:
+      // (fd, offset, len, advice/flags)
+      ev.fd = FdArg(args, 0);
+      ev.offset = num_arg(1);
+      ev.size = static_cast<uint64_t>(num_arg(2));
+      break;
+    case Sys::kFallocate:
+      // (fd, mode, offset, len)
+      ev.fd = FdArg(args, 0);
+      ev.offset = num_arg(2);
+      ev.size = static_cast<uint64_t>(num_arg(3));
+      break;
+    case Sys::kMmap:
+      ev.fd = FdArg(args, 4);
+      ev.size = static_cast<uint64_t>(num_arg(1));
+      ev.offset = num_arg(5);
+      break;
+    default:
+      // Calls with no replay-relevant arguments.
+      break;
+  }
+  *out = ev;
+  return true;
+}
+
+StraceParseResult ParseStrace(std::istream& in) {
+  StraceParseResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    TraceEvent ev;
+    std::string error;
+    if (ParseStraceLine(line, &ev, &error)) {
+      ev.index = result.trace.events.size();
+      result.trace.events.push_back(std::move(ev));
+    } else if (!error.empty()) {
+      result.skipped_lines++;
+      if (result.first_error.empty()) {
+        result.first_error = error;
+      }
+    }
+  }
+  return result;
+}
+
+StraceParseResult ParseStraceFile(const std::string& path) {
+  std::ifstream in(path);
+  ARTC_CHECK_MSG(in.good(), "cannot open strace file %s", path.c_str());
+  return ParseStrace(in);
+}
+
+}  // namespace artc::trace

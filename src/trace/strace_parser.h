@@ -1,0 +1,40 @@
+// Parser for strace-style trace output, so traces collected with standard
+// UNIX tooling can feed the compiler (paper Sec. 4.1: "supporting standard
+// tracing tools that are often preinstalled in UNIX environments").
+//
+// Supported input shape (strace -f -ttt -T):
+//
+//   <pid> <epoch.seconds> <call>(<args>) = <ret> [ERRNO (text)] <<dur>>
+//
+// e.g.
+//   1234 1700000000.123456 openat(AT_FDCWD, "/a/b", O_RDONLY) = 3 <0.000012>
+//   1235 1700000000.123470 read(3, ""..., 4096) = 4096 <0.000034>
+//
+// The parser is a hand-written recursive-descent replacement for the bison/
+// flex grammars in the original ARTC; it covers the call set the rest of the
+// pipeline understands and skips unknown calls with a warning counter.
+#ifndef SRC_TRACE_STRACE_PARSER_H_
+#define SRC_TRACE_STRACE_PARSER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/event.h"
+
+namespace artc::trace {
+
+struct StraceParseResult {
+  Trace trace;
+  uint64_t skipped_lines = 0;    // unparseable or unknown-call lines
+  std::string first_error;       // description of the first skipped line
+};
+
+StraceParseResult ParseStrace(std::istream& in);
+StraceParseResult ParseStraceFile(const std::string& path);
+
+// Parses a single strace line. Returns true and fills *out on success.
+bool ParseStraceLine(std::string_view line, TraceEvent* out, std::string* error);
+
+}  // namespace artc::trace
+
+#endif  // SRC_TRACE_STRACE_PARSER_H_

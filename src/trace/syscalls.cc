@@ -1,0 +1,189 @@
+#include "src/trace/syscalls.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace artc::trace {
+namespace {
+
+constexpr std::array<SysInfo, kSysCount> BuildTable() {
+  std::array<SysInfo, kSysCount> t{};
+  auto set = [&t](Sys s, std::string_view name, SysCategory c, bool osx = false) {
+    t[static_cast<size_t>(s)] = SysInfo{s, name, c, osx};
+  };
+  set(Sys::kOpen, "open", SysCategory::kOpen);
+  set(Sys::kOpenAt, "openat", SysCategory::kOpen);
+  set(Sys::kCreat, "creat", SysCategory::kOpen);
+  set(Sys::kClose, "close", SysCategory::kClose);
+  set(Sys::kDup, "dup", SysCategory::kOpen);
+  set(Sys::kDup2, "dup2", SysCategory::kOpen);
+  set(Sys::kRead, "read", SysCategory::kRead);
+  set(Sys::kReadV, "readv", SysCategory::kRead);
+  set(Sys::kPRead, "pread", SysCategory::kRead);
+  set(Sys::kPReadV, "preadv", SysCategory::kRead);
+  set(Sys::kWrite, "write", SysCategory::kWrite);
+  set(Sys::kWriteV, "writev", SysCategory::kWrite);
+  set(Sys::kPWrite, "pwrite", SysCategory::kWrite);
+  set(Sys::kPWriteV, "pwritev", SysCategory::kWrite);
+  set(Sys::kLSeek, "lseek", SysCategory::kOther);
+  set(Sys::kSendFile, "sendfile", SysCategory::kRead);
+  set(Sys::kCopyFileRange, "copy_file_range", SysCategory::kWrite);
+  set(Sys::kMmap, "mmap", SysCategory::kRead);
+  set(Sys::kMunmap, "munmap", SysCategory::kOther);
+  set(Sys::kMsync, "msync", SysCategory::kFsync);
+  set(Sys::kFsync, "fsync", SysCategory::kFsync);
+  set(Sys::kFdatasync, "fdatasync", SysCategory::kFsync);
+  set(Sys::kSync, "sync", SysCategory::kFsync);
+  set(Sys::kSyncFileRange, "sync_file_range", SysCategory::kFsync);
+  set(Sys::kStat, "stat", SysCategory::kStatFamily);
+  set(Sys::kLstat, "lstat", SysCategory::kStatFamily);
+  set(Sys::kFstat, "fstat", SysCategory::kStatFamily);
+  set(Sys::kFstatAt, "fstatat", SysCategory::kStatFamily);
+  set(Sys::kAccess, "access", SysCategory::kStatFamily);
+  set(Sys::kFaccessAt, "faccessat", SysCategory::kStatFamily);
+  set(Sys::kStatFs, "statfs", SysCategory::kStatFamily);
+  set(Sys::kFstatFs, "fstatfs", SysCategory::kStatFamily);
+  set(Sys::kChmod, "chmod", SysCategory::kNamespaceMeta);
+  set(Sys::kFchmod, "fchmod", SysCategory::kNamespaceMeta);
+  set(Sys::kChown, "chown", SysCategory::kNamespaceMeta);
+  set(Sys::kFchown, "fchown", SysCategory::kNamespaceMeta);
+  set(Sys::kLchown, "lchown", SysCategory::kNamespaceMeta);
+  set(Sys::kUtimes, "utimes", SysCategory::kNamespaceMeta);
+  set(Sys::kFutimes, "futimes", SysCategory::kNamespaceMeta);
+  set(Sys::kTruncate, "truncate", SysCategory::kWrite);
+  set(Sys::kFtruncate, "ftruncate", SysCategory::kWrite);
+  set(Sys::kFcntl, "fcntl", SysCategory::kOther);
+  set(Sys::kFlock, "flock", SysCategory::kOther);
+  set(Sys::kIoctl, "ioctl", SysCategory::kOther);
+  set(Sys::kMknod, "mknod", SysCategory::kNamespaceMeta);
+  set(Sys::kUmask, "umask", SysCategory::kOther);
+  set(Sys::kMkdir, "mkdir", SysCategory::kNamespaceMeta);
+  set(Sys::kMkdirAt, "mkdirat", SysCategory::kNamespaceMeta);
+  set(Sys::kRmdir, "rmdir", SysCategory::kNamespaceMeta);
+  set(Sys::kUnlink, "unlink", SysCategory::kNamespaceMeta);
+  set(Sys::kUnlinkAt, "unlinkat", SysCategory::kNamespaceMeta);
+  set(Sys::kRename, "rename", SysCategory::kNamespaceMeta);
+  set(Sys::kRenameAt, "renameat", SysCategory::kNamespaceMeta);
+  set(Sys::kLink, "link", SysCategory::kNamespaceMeta);
+  set(Sys::kLinkAt, "linkat", SysCategory::kNamespaceMeta);
+  set(Sys::kSymlink, "symlink", SysCategory::kNamespaceMeta);
+  set(Sys::kSymlinkAt, "symlinkat", SysCategory::kNamespaceMeta);
+  set(Sys::kReadlink, "readlink", SysCategory::kStatFamily);
+  set(Sys::kReadlinkAt, "readlinkat", SysCategory::kStatFamily);
+  set(Sys::kChdir, "chdir", SysCategory::kOther);
+  set(Sys::kFchdir, "fchdir", SysCategory::kOther);
+  set(Sys::kGetCwd, "getcwd", SysCategory::kOther);
+  set(Sys::kGetDirEntries, "getdirentries", SysCategory::kDirectory);
+  set(Sys::kGetDents, "getdents", SysCategory::kDirectory);
+  set(Sys::kGetXattr, "getxattr", SysCategory::kXattr);
+  set(Sys::kLGetXattr, "lgetxattr", SysCategory::kXattr);
+  set(Sys::kFGetXattr, "fgetxattr", SysCategory::kXattr);
+  set(Sys::kSetXattr, "setxattr", SysCategory::kXattr);
+  set(Sys::kLSetXattr, "lsetxattr", SysCategory::kXattr);
+  set(Sys::kFSetXattr, "fsetxattr", SysCategory::kXattr);
+  set(Sys::kListXattr, "listxattr", SysCategory::kXattr);
+  set(Sys::kLListXattr, "llistxattr", SysCategory::kXattr);
+  set(Sys::kFListXattr, "flistxattr", SysCategory::kXattr);
+  set(Sys::kRemoveXattr, "removexattr", SysCategory::kXattr);
+  set(Sys::kLRemoveXattr, "lremovexattr", SysCategory::kXattr);
+  set(Sys::kFRemoveXattr, "fremovexattr", SysCategory::kXattr);
+  set(Sys::kFadvise, "posix_fadvise", SysCategory::kHint);
+  set(Sys::kFallocate, "fallocate", SysCategory::kHint);
+  set(Sys::kMadvise, "madvise", SysCategory::kHint);
+  set(Sys::kReadahead, "readahead", SysCategory::kHint);
+  set(Sys::kAioRead, "aio_read", SysCategory::kAio);
+  set(Sys::kAioWrite, "aio_write", SysCategory::kAio);
+  set(Sys::kAioError, "aio_error", SysCategory::kAio);
+  set(Sys::kAioReturn, "aio_return", SysCategory::kAio);
+  set(Sys::kAioSuspend, "aio_suspend", SysCategory::kAio);
+  set(Sys::kAioCancel, "aio_cancel", SysCategory::kAio);
+  set(Sys::kLioListio, "lio_listio", SysCategory::kAio);
+  set(Sys::kShmOpen, "shm_open", SysCategory::kOpen);
+  set(Sys::kShmUnlink, "shm_unlink", SysCategory::kNamespaceMeta);
+  set(Sys::kGetAttrList, "getattrlist", SysCategory::kStatFamily, true);
+  set(Sys::kSetAttrList, "setattrlist", SysCategory::kNamespaceMeta, true);
+  set(Sys::kGetDirEntriesAttr, "getdirentriesattr", SysCategory::kDirectory, true);
+  set(Sys::kExchangeData, "exchangedata", SysCategory::kNamespaceMeta, true);
+  set(Sys::kSearchFs, "searchfs", SysCategory::kDirectory, true);
+  set(Sys::kGetXattrOsx, "getxattr_osx", SysCategory::kXattr, true);
+  set(Sys::kFGetXattrOsx, "fgetxattr_osx", SysCategory::kXattr, true);
+  set(Sys::kSetXattrOsx, "setxattr_osx", SysCategory::kXattr, true);
+  set(Sys::kFSetXattrOsx, "fsetxattr_osx", SysCategory::kXattr, true);
+  set(Sys::kListXattrOsx, "listxattr_osx", SysCategory::kXattr, true);
+  set(Sys::kRemoveXattrOsx, "removexattr_osx", SysCategory::kXattr, true);
+  set(Sys::kFcntlFullFsync, "fcntl_fullfsync", SysCategory::kFsync, true);
+  set(Sys::kFcntlRdAdvise, "fcntl_rdadvise", SysCategory::kHint, true);
+  set(Sys::kFcntlPreallocate, "fcntl_preallocate", SysCategory::kHint, true);
+  set(Sys::kFcntlNoCache, "fcntl_nocache", SysCategory::kHint, true);
+  set(Sys::kFsCtl, "fsctl", SysCategory::kOther, true);
+  set(Sys::kOsxUndoc1, "osx_undoc1", SysCategory::kStatFamily, true);
+  set(Sys::kOsxUndoc2, "osx_undoc2", SysCategory::kStatFamily, true);
+  set(Sys::kOsxUndoc3, "osx_undoc3", SysCategory::kStatFamily, true);
+  return t;
+}
+
+const std::array<SysInfo, kSysCount>& Table() {
+  static const std::array<SysInfo, kSysCount> kTable = BuildTable();
+  return kTable;
+}
+
+}  // namespace
+
+const SysInfo& GetSysInfo(Sys sys) {
+  ARTC_CHECK(sys < Sys::kCount);
+  const SysInfo& info = Table()[static_cast<size_t>(sys)];
+  ARTC_CHECK_MSG(!info.name.empty(), "missing SysInfo entry %u",
+                 static_cast<unsigned>(sys));
+  return info;
+}
+
+Sys SysFromName(std::string_view name) {
+  static const auto* kByName = [] {
+    auto* m = new std::unordered_map<std::string, Sys>();
+    for (const SysInfo& info : Table()) {
+      if (!info.name.empty()) {
+        (*m)[std::string(info.name)] = info.sys;
+      }
+    }
+    return m;
+  }();
+  auto it = kByName->find(std::string(name));
+  return it == kByName->end() ? Sys::kCount : it->second;
+}
+
+std::string_view SysName(Sys sys) { return GetSysInfo(sys).name; }
+
+std::string_view CategoryName(SysCategory c) {
+  switch (c) {
+    case SysCategory::kOpen:
+      return "open";
+    case SysCategory::kClose:
+      return "close";
+    case SysCategory::kRead:
+      return "read";
+    case SysCategory::kWrite:
+      return "write";
+    case SysCategory::kFsync:
+      return "fsync";
+    case SysCategory::kStatFamily:
+      return "stat";
+    case SysCategory::kDirectory:
+      return "dir";
+    case SysCategory::kXattr:
+      return "xattr";
+    case SysCategory::kNamespaceMeta:
+      return "meta";
+    case SysCategory::kHint:
+      return "hint";
+    case SysCategory::kAio:
+      return "aio";
+    case SysCategory::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+}  // namespace artc::trace

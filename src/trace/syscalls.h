@@ -1,0 +1,183 @@
+// Catalog of the system calls ARTC understands (the paper supports "over 80
+// different system calls" including 19 OS-X-specific calls handled through
+// emulation). Each call carries static metadata used by the compiler (how
+// arguments map to resources) and by replay reports (Fig. 10 buckets
+// thread-time by call family).
+#ifndef SRC_TRACE_SYSCALLS_H_
+#define SRC_TRACE_SYSCALLS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace artc::trace {
+
+enum class Sys : uint16_t {
+  // -- open/close family --
+  kOpen,
+  kOpenAt,
+  kCreat,
+  kClose,
+  kDup,
+  kDup2,
+  // -- data path --
+  kRead,
+  kReadV,
+  kPRead,
+  kPReadV,
+  kWrite,
+  kWriteV,
+  kPWrite,
+  kPWriteV,
+  kLSeek,
+  kSendFile,
+  kCopyFileRange,
+  kMmap,
+  kMunmap,
+  kMsync,
+  // -- durability --
+  kFsync,
+  kFdatasync,
+  kSync,
+  kSyncFileRange,
+  // -- file metadata --
+  kStat,
+  kLstat,
+  kFstat,
+  kFstatAt,
+  kAccess,
+  kFaccessAt,
+  kStatFs,
+  kFstatFs,
+  kChmod,
+  kFchmod,
+  kChown,
+  kFchown,
+  kLchown,
+  kUtimes,
+  kFutimes,
+  kTruncate,
+  kFtruncate,
+  kFcntl,
+  kFlock,
+  kIoctl,
+  kMknod,
+  kUmask,
+  // -- namespace --
+  kMkdir,
+  kMkdirAt,
+  kRmdir,
+  kUnlink,
+  kUnlinkAt,
+  kRename,
+  kRenameAt,
+  kLink,
+  kLinkAt,
+  kSymlink,
+  kSymlinkAt,
+  kReadlink,
+  kReadlinkAt,
+  kChdir,
+  kFchdir,
+  kGetCwd,
+  kGetDirEntries,
+  kGetDents,
+  // -- extended attributes (Linux-style) --
+  kGetXattr,
+  kLGetXattr,
+  kFGetXattr,
+  kSetXattr,
+  kLSetXattr,
+  kFSetXattr,
+  kListXattr,
+  kLListXattr,
+  kFListXattr,
+  kRemoveXattr,
+  kLRemoveXattr,
+  kFRemoveXattr,
+  // -- hints --
+  kFadvise,
+  kFallocate,
+  kMadvise,
+  kReadahead,
+  // -- asynchronous I/O --
+  kAioRead,
+  kAioWrite,
+  kAioError,
+  kAioReturn,
+  kAioSuspend,
+  kAioCancel,
+  kLioListio,
+  // -- shared memory objects --
+  kShmOpen,
+  kShmUnlink,
+  // -- OS-X-specific calls (replayed through emulation, Sec. 4.3.4) --
+  kGetAttrList,         // metadata-access API
+  kSetAttrList,         // metadata-access API
+  kGetDirEntriesAttr,   // metadata-access API
+  kExchangeData,        // atomic file-content swap
+  kSearchFs,            // metadata-access API
+  kGetXattrOsx,         // xattr API with extra options
+  kFGetXattrOsx,
+  kSetXattrOsx,
+  kFSetXattrOsx,
+  kListXattrOsx,
+  kRemoveXattrOsx,
+  kFcntlFullFsync,      // F_FULLFSYNC durability fcntl
+  kFcntlRdAdvise,       // prefetch hint fcntl
+  kFcntlPreallocate,    // preallocation hint fcntl
+  kFcntlNoCache,        // cache-bypass hint fcntl
+  kFsCtl,               // fs control, metadata-ish
+  kOsxUndoc1,           // undocumented metadata-related calls observed in
+  kOsxUndoc2,           //   the iBench traces; emulated with small metadata
+  kOsxUndoc3,           //   accesses
+  kCount,               // sentinel
+};
+
+inline constexpr size_t kSysCount = static_cast<size_t>(Sys::kCount);
+
+// Fig. 10's thread-time categories.
+enum class SysCategory : uint8_t {
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kFsync,
+  kStatFamily,
+  kDirectory,
+  kXattr,
+  kNamespaceMeta,  // rename/link/unlink/mkdir/...
+  kHint,
+  kAio,
+  kOther,
+};
+
+struct SysInfo {
+  Sys sys;
+  std::string_view name;
+  SysCategory category;
+  bool osx_specific;   // needs emulation off-platform (19 calls)
+};
+
+// Static metadata for every call; indexed by Sys value.
+const SysInfo& GetSysInfo(Sys sys);
+
+// Reverse lookup by name; returns Sys::kCount if unknown.
+Sys SysFromName(std::string_view name);
+
+std::string_view SysName(Sys sys);
+std::string_view CategoryName(SysCategory c);
+
+// Portable open(2) flag encoding used in traces (host O_* values differ
+// across the platforms ARTC supports, so traces never store raw values).
+inline constexpr uint32_t kOpenRead = 1u << 0;
+inline constexpr uint32_t kOpenWrite = 1u << 1;
+inline constexpr uint32_t kOpenCreate = 1u << 2;
+inline constexpr uint32_t kOpenExcl = 1u << 3;
+inline constexpr uint32_t kOpenTrunc = 1u << 4;
+inline constexpr uint32_t kOpenAppend = 1u << 5;
+inline constexpr uint32_t kOpenDirectory = 1u << 6;
+inline constexpr uint32_t kOpenNoFollow = 1u << 7;
+
+}  // namespace artc::trace
+
+#endif  // SRC_TRACE_SYSCALLS_H_

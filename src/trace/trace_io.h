@@ -1,0 +1,30 @@
+// Native text trace format: one event per line, as emitted by FormatEvent():
+//
+//   <index> <tid> <enter_ns> <ret_ns> <call> ret=<v> [key=value]...
+//
+// String values are double-quoted with backslash escapes. Lines beginning
+// with '#' are comments.
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/event.h"
+
+namespace artc::trace {
+
+// Parse errors abort with a message pointing at the offending line; traces
+// are build inputs, not user data, so fail-fast is the right behaviour.
+Trace ReadTrace(std::istream& in);
+Trace ReadTraceFile(const std::string& path);
+
+void WriteTrace(const Trace& trace, std::ostream& out);
+void WriteTraceFile(const Trace& trace, const std::string& path);
+
+// Parses one native-format line; returns false for blank/comment lines.
+bool ParseEventLine(std::string_view line, TraceEvent* out, std::string* error);
+
+}  // namespace artc::trace
+
+#endif  // SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,30 @@
+// Lightweight assertion macros. ARTC_CHECK is always on (release builds
+// included): the replayer and compiler rely on these to catch malformed
+// traces early rather than corrupting replay state.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ARTC_CHECK(cond)                                                            \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "ARTC_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,  \
+                   #cond);                                                          \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#define ARTC_CHECK_MSG(cond, ...)                                                   \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      std::fprintf(stderr, "ARTC_CHECK failed at %s:%d: %s: ", __FILE__, __LINE__,  \
+                   #cond);                                                          \
+      std::fprintf(stderr, __VA_ARGS__);                                            \
+      std::fprintf(stderr, "\n");                                                   \
+      std::abort();                                                                 \
+    }                                                                               \
+  } while (0)
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,38 @@
+// Deterministic seeded RNG (xoshiro256**). Every source of nondeterminism in
+// the simulator draws from an Rng so a run is a pure function of its seed.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace artc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t Next();
+
+  // Uniform over [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability p.
+  bool NextBool(double p);
+
+  // Spawn an independent child stream (for per-thread RNGs).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace artc
+
+#endif  // SRC_UTIL_RNG_H_

@@ -1,0 +1,94 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace artc {
+
+void SampleStats::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_ = samples_.size() <= 1;
+}
+
+double SampleStats::Mean() const {
+  ARTC_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  ARTC_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  ARTC_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Stddev() const {
+  ARTC_CHECK(!samples_.empty());
+  const double mean = Mean();
+  double acc = 0;
+  for (double v : samples_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void SampleStats::Sort() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Percentile(double q) const {
+  ARTC_CHECK(!samples_.empty());
+  ARTC_CHECK(q >= 0.0 && q <= 1.0);
+  Sort();
+  if (samples_.size() == 1) {
+    return samples_[0];
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleStats::TailMean(double q) const {
+  ARTC_CHECK(!samples_.empty());
+  Sort();
+  const size_t start = static_cast<size_t>(q * static_cast<double>(samples_.size()));
+  const size_t first = std::min(start, samples_.size() - 1);
+  double acc = 0;
+  for (size_t i = first; i < samples_.size(); ++i) {
+    acc += samples_[i];
+  }
+  return acc / static_cast<double>(samples_.size() - first);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  ARTC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Add(double v) {
+  size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[i]++;
+  total_++;
+}
+
+double Histogram::BucketUpperBound(size_t i) const {
+  ARTC_CHECK(i < counts_.size());
+  if (i < bounds_.size()) {
+    return bounds_[i];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace artc

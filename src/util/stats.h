@@ -1,0 +1,53 @@
+// Small statistics helpers used by replay reports and benchmark harnesses.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace artc {
+
+// Accumulates samples and answers summary queries. Stores all samples, so
+// only suitable for the sample counts seen here (<= millions).
+class SampleStats {
+ public:
+  void Add(double v);
+  size_t Count() const { return samples_.size(); }
+  double Sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  // q in [0, 1]; linear interpolation between order statistics.
+  double Percentile(double q) const;
+  // Mean of the samples at or above the q-quantile (tail mean).
+  double TailMean(double q) const;
+  const std::vector<double>& Samples() const { return samples_; }
+
+ private:
+  void Sort() const;
+  std::vector<double> samples_;
+  double sum_ = 0;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-boundary histogram for latency breakdowns.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+  void Add(double v);
+  size_t BucketCount() const { return counts_.size(); }
+  uint64_t BucketValue(size_t i) const { return counts_[i]; }
+  double BucketUpperBound(size_t i) const;
+  uint64_t Total() const { return total_; }
+
+ private:
+  std::vector<double> bounds_;  // ascending; final bucket is overflow
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace artc
+
+#endif  // SRC_UTIL_STATS_H_

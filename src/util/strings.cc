@@ -1,0 +1,125 @@
+#include "src/util/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace artc {
+
+std::vector<std::string_view> SplitString(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitPath(std::string_view path) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start < path.size()) {
+    size_t pos = path.find('/', start);
+    if (pos == std::string_view::npos) {
+      out.push_back(path.substr(start));
+      break;
+    }
+    if (pos > start) {
+      out.push_back(path.substr(start, pos - start));
+    }
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string_view> stack;
+  for (std::string_view comp : SplitPath(path)) {
+    if (comp == ".") {
+      continue;
+    }
+    if (comp == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      continue;
+    }
+    stack.push_back(comp);
+  }
+  std::string out = "/";
+  for (size_t i = 0; i < stack.size(); ++i) {
+    out.append(stack[i]);
+    if (i + 1 < stack.size()) {
+      out.push_back('/');
+    }
+  }
+  return out;
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  if (!name.empty() && name[0] == '/') {
+    return std::string(name);
+  }
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') {
+    out.push_back('/');
+  }
+  out.append(name);
+  return out;
+}
+
+std::string_view DirName(std::string_view path) {
+  if (path == "/") {
+    return path;
+  }
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) {
+    return ".";
+  }
+  if (pos == 0) {
+    return path.substr(0, 1);
+  }
+  return path.substr(0, pos);
+}
+
+std::string_view BaseName(std::string_view path) {
+  if (path == "/") {
+    return path;
+  }
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) {
+    return path;
+  }
+  return path.substr(pos + 1);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  ARTC_CHECK(n >= 0);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace artc

@@ -1,0 +1,27 @@
+// Virtual-time units used throughout the simulator and replayer.
+#ifndef SRC_UTIL_TIME_H_
+#define SRC_UTIL_TIME_H_
+
+#include <cstdint>
+
+namespace artc {
+
+// Virtual time in nanoseconds. All simulated clocks, traces, and replay
+// reports use this unit. int64_t gives ~292 years of range, far more than
+// any trace needs.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * 1000;
+inline constexpr TimeNs kNsPerSec = 1000 * 1000 * 1000;
+
+constexpr TimeNs Us(int64_t n) { return n * kNsPerUs; }
+constexpr TimeNs Ms(int64_t n) { return n * kNsPerMs; }
+constexpr TimeNs Sec(int64_t n) { return n * kNsPerSec; }
+
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+constexpr double ToMillis(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+
+}  // namespace artc
+
+#endif  // SRC_UTIL_TIME_H_

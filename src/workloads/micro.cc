@@ -1,0 +1,116 @@
+#include "src/workloads/micro.h"
+
+#include <vector>
+
+#include "src/util/strings.h"
+
+namespace artc::workloads {
+
+using trace::kOpenRead;
+
+namespace {
+
+std::string FileFor(uint32_t thread) { return StrFormat("/data/file%u", thread); }
+
+// One reader thread's random-read loop.
+void RandomReadLoop(AppContext& ctx, int32_t fd, uint64_t file_bytes, uint32_t reads,
+                    TimeNs compute, Rng* rng) {
+  const uint64_t blocks = file_bytes / 4096;
+  for (uint32_t i = 0; i < reads; ++i) {
+    uint64_t block = rng->NextBelow(blocks);
+    ctx.fs->Pread(fd, 4096, static_cast<int64_t>(block * 4096));
+    if (compute > 0) {
+      ctx.Compute(compute);
+    }
+  }
+}
+
+}  // namespace
+
+std::string RandomReaders::Name() const {
+  return StrFormat("random-readers-%u", opt_.threads);
+}
+
+void RandomReaders::Setup(vfs::Vfs& fs) {
+  for (uint32_t t = 0; t < opt_.threads; ++t) {
+    fs.MustCreateFile(FileFor(t), opt_.file_bytes);
+  }
+}
+
+void RandomReaders::Run(AppContext& ctx) {
+  std::vector<sim::SimThreadId> threads;
+  for (uint32_t t = 0; t < opt_.threads; ++t) {
+    Rng rng = ctx.rng().Fork();
+    threads.push_back(ctx.Spawn(StrFormat("reader-%u", t), [this, &ctx, t, rng]() mutable {
+      int32_t fd = static_cast<int32_t>(ctx.fs->Open(FileFor(t), kOpenRead).value);
+      RandomReadLoop(ctx, fd, opt_.file_bytes, opt_.reads_per_thread,
+                     opt_.compute_per_read, &rng);
+      ctx.fs->Close(fd);
+    }));
+  }
+  for (sim::SimThreadId t : threads) {
+    ctx.Join(t);
+  }
+}
+
+std::string CacheWarmReaders::Name() const { return "cache-warm-readers"; }
+
+void CacheWarmReaders::Setup(vfs::Vfs& fs) {
+  fs.MustCreateFile(FileFor(0), opt_.file_bytes);
+  fs.MustCreateFile(FileFor(1), opt_.file_bytes);
+}
+
+void CacheWarmReaders::Run(AppContext& ctx) {
+  Rng rng0 = ctx.rng().Fork();
+  Rng rng1 = ctx.rng().Fork();
+  sim::SimThreadId t0 = ctx.Spawn("warm-reader", [this, &ctx, rng0]() mutable {
+    int32_t fd = static_cast<int32_t>(ctx.fs->Open(FileFor(0), kOpenRead).value);
+    // Sequential warm-up over the entire file (read-ahead friendly).
+    const uint64_t blocks = opt_.file_bytes / 4096;
+    for (uint64_t b = 0; b < blocks; b += 32) {
+      ctx.fs->Pread(fd, 32 * 4096, static_cast<int64_t>(b * 4096));
+    }
+    RandomReadLoop(ctx, fd, opt_.file_bytes, opt_.warm_random_reads,
+                   opt_.compute_per_read, &rng0);
+    ctx.fs->Close(fd);
+  });
+  sim::SimThreadId t1 = ctx.Spawn("cold-reader", [this, &ctx, rng1]() mutable {
+    int32_t fd = static_cast<int32_t>(ctx.fs->Open(FileFor(1), kOpenRead).value);
+    RandomReadLoop(ctx, fd, opt_.file_bytes, opt_.cold_random_reads,
+                   opt_.compute_per_read, &rng1);
+    ctx.fs->Close(fd);
+  });
+  ctx.Join(t0);
+  ctx.Join(t1);
+}
+
+std::string CompetingSequentialReaders::Name() const {
+  return StrFormat("competing-seq-readers-%u", opt_.threads);
+}
+
+void CompetingSequentialReaders::Setup(vfs::Vfs& fs) {
+  for (uint32_t t = 0; t < opt_.threads; ++t) {
+    fs.MustCreateFile(FileFor(t), opt_.file_bytes);
+  }
+}
+
+void CompetingSequentialReaders::Run(AppContext& ctx) {
+  std::vector<sim::SimThreadId> threads;
+  for (uint32_t t = 0; t < opt_.threads; ++t) {
+    threads.push_back(ctx.Spawn(StrFormat("seq-%u", t), [this, &ctx, t] {
+      int32_t fd = static_cast<int32_t>(ctx.fs->Open(FileFor(t), kOpenRead).value);
+      for (uint32_t i = 0; i < opt_.reads_per_thread; ++i) {
+        ctx.fs->Read(fd, 4096);
+        if (opt_.compute_per_read > 0) {
+          ctx.Compute(opt_.compute_per_read);
+        }
+      }
+      ctx.fs->Close(fd);
+    }));
+  }
+  for (sim::SimThreadId t : threads) {
+    ctx.Join(t);
+  }
+}
+
+}  // namespace artc::workloads

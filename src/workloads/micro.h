@@ -1,0 +1,77 @@
+// Microbenchmark application models from paper Sec. 5.2.1: each one was
+// constructed to expose a feedback loop between workload and storage stack
+// (workload parallelism, disk parallelism, cache size, scheduler slice).
+#ifndef SRC_WORKLOADS_MICRO_H_
+#define SRC_WORKLOADS_MICRO_H_
+
+#include <cstdint>
+
+#include "src/workloads/workload.h"
+
+namespace artc::workloads {
+
+// Fig. 5(a)/(b): N threads, each reading `reads_per_thread` randomly
+// selected 4 KB blocks from its own private file.
+class RandomReaders : public Workload {
+ public:
+  struct Options {
+    uint32_t threads = 2;
+    uint32_t reads_per_thread = 1000;
+    uint64_t file_bytes = 1ULL << 30;  // 1 GB
+    TimeNs compute_per_read = Us(20);
+  };
+  explicit RandomReaders(Options options) : opt_(options) {}
+  std::string Name() const override;
+  void Setup(vfs::Vfs& fs) override;
+  void Run(AppContext& ctx) override;
+
+ private:
+  Options opt_;
+};
+
+// Fig. 5(c): two threads; thread 1 sequentially reads its entire file
+// before entering the random-read loop (so its random reads become cache
+// hits on a large-cache target and misses on a small-cache target);
+// thread 2 random-reads its own file throughout.
+class CacheWarmReaders : public Workload {
+ public:
+  struct Options {
+    // Thread 1 random-reads after warming; thread 2 reads ~3x longer so that
+    // thread 1's (fast, cached) random phase finishes long before thread 2
+    // does — the structure the paper's asymmetry depends on.
+    uint32_t warm_random_reads = 1500;
+    uint32_t cold_random_reads = 5000;
+    uint64_t file_bytes = 256ULL << 20;  // both files fit the big cache only
+    TimeNs compute_per_read = Us(20);
+  };
+  explicit CacheWarmReaders(Options options) : opt_(options) {}
+  std::string Name() const override;
+  void Setup(vfs::Vfs& fs) override;
+  void Run(AppContext& ctx) override;
+
+ private:
+  Options opt_;
+};
+
+// Fig. 5(d)/Fig. 6: two threads competing for throughput with sequential
+// 4 KB reads from separate large files — anticipatory-scheduling stress.
+class CompetingSequentialReaders : public Workload {
+ public:
+  struct Options {
+    uint32_t threads = 2;
+    uint32_t reads_per_thread = 3000;
+    uint64_t file_bytes = 1ULL << 30;
+    TimeNs compute_per_read = Us(5);
+  };
+  explicit CompetingSequentialReaders(Options options) : opt_(options) {}
+  std::string Name() const override;
+  void Setup(vfs::Vfs& fs) override;
+  void Run(AppContext& ctx) override;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace artc::workloads
+
+#endif  // SRC_WORKLOADS_MICRO_H_

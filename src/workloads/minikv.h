@@ -1,0 +1,134 @@
+// minikv: a small LSM-style embedded key-value store running on the
+// simulated VFS, standing in for LevelDB in the paper's macrobenchmarks
+// (Sec. 5.2.2). The two structural properties Fig. 7 depends on are
+// reproduced faithfully:
+//
+//  * writes serialise through a single writer with hand-off (group commit):
+//    concurrent Put() callers enqueue; the front of the queue writes the
+//    whole batch to the WAL (fsync when sync_writes) while the rest wait —
+//    so `fillsync` behaves like a single-threaded write workload under any
+//    replay method;
+//  * reads are independent: readrandom threads binary-probe sorted run
+//    files with pread and share nothing, so replay flexibility matters.
+#ifndef SRC_WORKLOADS_MINIKV_H_
+#define SRC_WORKLOADS_MINIKV_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace artc::workloads {
+
+class MiniKv {
+ public:
+  struct Options {
+    std::string dir = "/db";
+    uint32_t value_size = 100;
+    uint64_t memtable_limit_bytes = 4ULL << 20;
+    bool sync_writes = false;  // fsync the WAL on every commit (fillsync)
+  };
+
+  MiniKv(AppContext* ctx, Options options);
+  ~MiniKv();
+
+  void Open();   // opens WAL and existing run files
+  void Close();
+
+  // Inserts key (thread-safe; serialises through the writer queue).
+  void Put(uint64_t key);
+
+  // Point lookup. Returns true if the key was found.
+  bool Get(uint64_t key);
+
+  // Builds a database of `tables` small sorted table files (LevelDB keeps
+  // hundreds of ~2 MB SSTables), each holding `keys_per_table` records,
+  // directly into the VFS (fast preload for readrandom). Key k lives in
+  // table (k % tables) at slot (k / tables).
+  static void BuildDatabase(vfs::Vfs& fs, const std::string& dir, uint32_t tables,
+                            uint64_t keys_per_table, uint32_t value_size);
+
+  uint64_t puts() const { return puts_; }
+  uint64_t gets() const { return gets_; }
+
+ private:
+  struct Run {
+    std::string path;
+    int32_t fd = -1;
+    uint64_t records = 0;
+    uint32_t modulus = 0;   // keys in this run satisfy key % modulus == index
+    uint32_t index = 0;
+  };
+  struct Waiter {
+    uint64_t key;
+    bool applied = false;
+  };
+
+  void WriteBatch(std::vector<Waiter*>& batch);
+  void FlushMemtable();
+  uint32_t RecordSize() const { return value_size_padded_; }
+
+  AppContext* ctx_;
+  Options opt_;
+  uint32_t value_size_padded_;
+
+  // Writer queue (LevelDB-style hand-off).
+  std::unique_ptr<sim::SimMutex> mu_;
+  std::unique_ptr<sim::SimCondVar> cv_;
+  std::deque<Waiter*> writers_;
+  bool writer_active_ = false;
+
+  int32_t wal_fd_ = -1;
+  uint64_t wal_offset_ = 0;
+  std::map<uint64_t, bool> memtable_;
+  uint64_t memtable_bytes_ = 0;
+  uint32_t next_flush_id_ = 0;
+  std::vector<Run> runs_;
+  uint64_t puts_ = 0;
+  uint64_t gets_ = 0;
+};
+
+// The two LevelDB benchmark workloads.
+class KvFillSync : public Workload {
+ public:
+  struct Options {
+    uint32_t threads = 8;
+    uint32_t puts_per_thread = 250;
+    uint32_t value_size = 100;
+    TimeNs compute_per_op = Us(5);
+  };
+  explicit KvFillSync(Options options) : opt_(options) {}
+  std::string Name() const override { return "kv-fillsync"; }
+  void Setup(vfs::Vfs& fs) override;
+  void Run(AppContext& ctx) override;
+
+ private:
+  Options opt_;
+};
+
+class KvReadRandom : public Workload {
+ public:
+  struct Options {
+    uint32_t threads = 8;
+    uint32_t gets_per_thread = 1000;
+    uint32_t tables = 128;            // many small tables, like LevelDB
+    uint64_t keys_per_table = 16000;  // 128 x 16k x ~1KB rec = ~2 GB
+    uint32_t value_size = 1000;
+    TimeNs compute_per_op = Us(5);
+  };
+  explicit KvReadRandom(Options options) : opt_(options) {}
+  std::string Name() const override { return "kv-readrandom"; }
+  void Setup(vfs::Vfs& fs) override;
+  void Run(AppContext& ctx) override;
+
+ private:
+  Options opt_;
+};
+
+}  // namespace artc::workloads
+
+#endif  // SRC_WORKLOADS_MINIKV_H_

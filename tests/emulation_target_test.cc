@@ -1,0 +1,95 @@
+// End-to-end emulation across target OS personalities: the same OS X trace
+// replayed on linux / freebsd / illumos simulated targets (paper Sec. 4.3.4
+// supports all four platforms; FreeBSD lacks some hint APIs entirely and
+// those calls become no-ops).
+#include <gtest/gtest.h>
+
+#include "src/core/artc.h"
+#include "src/core/sim_env.h"
+
+namespace artc::core {
+namespace {
+
+trace::Trace OsxHintTrace() {
+  trace::Trace t;
+  auto add = [&t](trace::Sys c, int64_t ret) -> trace::TraceEvent& {
+    trace::TraceEvent ev;
+    ev.index = t.events.size();
+    ev.tid = 1;
+    ev.call = c;
+    ev.ret = ret;
+    ev.enter = static_cast<TimeNs>(t.events.size()) * 1000;
+    ev.ret_time = ev.enter + 100;
+    t.events.push_back(ev);
+    return t.events.back();
+  };
+  auto& o = add(trace::Sys::kOpen, 3);
+  o.path = "/data/file";
+  o.flags = trace::kOpenRead | trace::kOpenWrite;
+  o.fd = 3;
+  auto& ra = add(trace::Sys::kFcntlRdAdvise, 0);  // prefetch hint
+  ra.fd = 3;
+  ra.offset = 0;
+  ra.size = 64 << 10;
+  auto& pa = add(trace::Sys::kFcntlPreallocate, 0);  // preallocation hint
+  pa.fd = 3;
+  pa.offset = 0;
+  pa.size = 1 << 20;
+  auto& nc = add(trace::Sys::kFcntlNoCache, 0);  // cache-bypass hint
+  nc.fd = 3;
+  auto& ff = add(trace::Sys::kFcntlFullFsync, 0);
+  ff.fd = 3;
+  auto& ga = add(trace::Sys::kGetAttrList, 0);
+  ga.path = "/data/file";
+  auto& c = add(trace::Sys::kClose, 0);
+  c.fd = 3;
+  return t;
+}
+
+class EmulationTarget : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EmulationTarget, OsxTraceReplaysCleanly) {
+  trace::Trace t = OsxHintTrace();
+  trace::FsSnapshot snap;
+  snap.AddFile("/data/file", 4 << 20);
+  snap.Canonicalize();
+  SimTarget target;
+  target.storage = storage::MakeNamedConfig("ssd");
+  target.emulation.target_os = GetParam();
+  CompileOptions copt;
+  SimReplayResult res = ReplayOnSimTarget(t, snap, copt, target);
+  EXPECT_EQ(res.report.failed_events, 0u)
+      << GetParam() << ": " << res.report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Platforms, EmulationTarget,
+                         ::testing::Values("linux", "osx", "freebsd", "illumos"));
+
+TEST(EmulationTarget, FreebsdIgnoresHintsLinuxSubstitutes) {
+  // On FreeBSD the prefetch hint is ignored (no media reads); on Linux it
+  // lowers to posix_fadvise and actually pulls blocks in.
+  auto media_reads_for = [](const char* os) {
+    trace::Trace t = OsxHintTrace();
+    trace::FsSnapshot snap;
+    snap.AddFile("/data/file", 4 << 20);
+    snap.Canonicalize();
+    CompiledBenchmark bench = Compile(t, snap, {});
+    sim::Simulation sim(1);
+    storage::StorageStack stack(&sim, storage::MakeNamedConfig("ssd"));
+    vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile("ext4"));
+    EmulationPolicy policy;
+    policy.target_os = os;
+    SimReplayEnv env(&sim, &fs, policy);
+    sim.Spawn("h", [&] {
+      env.Initialize(bench.snapshot);
+      stack.DropCaches();
+      Replay(bench, env);
+    });
+    sim.Run();
+    return stack.MediaReadBlocks();
+  };
+  EXPECT_GT(media_reads_for("linux"), media_reads_for("freebsd"));
+}
+
+}  // namespace
+}  // namespace artc::core

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/core/artc.h"
+#include "src/core/posix_env.h"
+#include "src/trace/event.h"
+
+namespace artc::core {
+namespace {
+
+// Each test gets a fresh sandbox directory under TMPDIR.
+class PosixEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* tmp = std::getenv("TMPDIR");
+    std::string base = tmp != nullptr ? tmp : "/tmp";
+    root_ = base + "/artc_posix_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(root_.data()), nullptr);
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf " + root_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  std::string root_;
+};
+
+trace::TraceEvent Ev(uint32_t tid, trace::Sys call, int64_t ret, TimeNs at) {
+  trace::TraceEvent ev;
+  ev.tid = tid;
+  ev.call = call;
+  ev.ret = ret;
+  ev.enter = at;
+  ev.ret_time = at + 1000;
+  return ev;
+}
+
+TEST_F(PosixEnvTest, InitializeCreatesTree) {
+  trace::FsSnapshot snap;
+  snap.AddFile("/app/data/file", 65536);
+  snap.AddSymlink("/app/link", "/app/data/file");
+  snap.AddSpecial("/dev/random", "random");
+  snap.Canonicalize();
+  PosixReplayEnv env(root_);
+  env.Initialize(snap);
+  struct stat st;
+  ASSERT_EQ(::stat((root_ + "/app/data/file").c_str(), &st), 0);
+  EXPECT_EQ(st.st_size, 65536);
+  ASSERT_EQ(::lstat((root_ + "/app/link").c_str(), &st), 0);
+  EXPECT_TRUE(S_ISLNK(st.st_mode));
+  // /dev/random degrades to a /dev/urandom symlink by default policy.
+  char buf[256];
+  ssize_t n = ::readlink((root_ + "/dev/random").c_str(), buf, sizeof(buf) - 1);
+  ASSERT_GT(n, 0);
+  buf[n] = '\0';
+  EXPECT_STREQ(buf, "/dev/urandom");
+}
+
+TEST_F(PosixEnvTest, EndToEndReplayOfHandWrittenTrace) {
+  trace::Trace t;
+  auto add = [&t](trace::TraceEvent ev) -> trace::TraceEvent& {
+    ev.index = t.events.size();
+    t.events.push_back(ev);
+    return t.events.back();
+  };
+  auto& o = add(Ev(1, trace::Sys::kOpen, 3, 0));
+  o.path = "/w/out.tmp";
+  o.flags = trace::kOpenWrite | trace::kOpenCreate | trace::kOpenExcl;
+  o.fd = 3;
+  auto& wr = add(Ev(1, trace::Sys::kPWrite, 4096, 2000));
+  wr.fd = 3;
+  wr.size = 4096;
+  wr.offset = 0;
+  auto& fs = add(Ev(1, trace::Sys::kFsync, 0, 4000));
+  fs.fd = 3;
+  auto& cl = add(Ev(1, trace::Sys::kClose, 0, 6000));
+  cl.fd = 3;
+  auto& rn = add(Ev(1, trace::Sys::kRename, 0, 8000));
+  rn.path = "/w/out.tmp";
+  rn.path2 = "/w/out.dat";
+  auto& o2 = add(Ev(2, trace::Sys::kOpen, 3, 10000));
+  o2.path = "/w/out.dat";
+  o2.flags = trace::kOpenRead;
+  o2.fd = 3;
+  auto& rd = add(Ev(2, trace::Sys::kPRead, 4096, 12000));
+  rd.fd = 3;
+  rd.size = 4096;
+  rd.offset = 0;
+  auto& cl2 = add(Ev(2, trace::Sys::kClose, 0, 14000));
+  cl2.fd = 3;
+  auto& st = add(Ev(2, trace::Sys::kStat, -trace::kENOENT, 16000));
+  st.path = "/w/out.tmp";
+
+  trace::FsSnapshot snap;
+  snap.AddDir("/w");
+  snap.Canonicalize();
+
+  CompiledBenchmark bench = Compile(t, snap, {});
+  PosixReplayEnv env(root_);
+  env.Initialize(bench.snapshot);
+  ReplayReport report = Replay(bench, env);
+  EXPECT_EQ(report.failed_events, 0u) << report.Summary();
+
+  // And the file system ends in the right state.
+  struct stat sb;
+  EXPECT_EQ(::stat((root_ + "/w/out.dat").c_str(), &sb), 0);
+  EXPECT_NE(::stat((root_ + "/w/out.tmp").c_str(), &sb), 0);
+}
+
+TEST_F(PosixEnvTest, ExchangeDataEmulatedWithLinkAndRenames) {
+  trace::Trace t;
+  trace::TraceEvent xd = Ev(1, trace::Sys::kExchangeData, 0, 0);
+  xd.index = 0;
+  xd.path = "/a.dat";
+  xd.path2 = "/b.dat";
+  t.events.push_back(xd);
+  trace::FsSnapshot snap;
+  snap.AddFile("/a.dat", 100);
+  snap.AddFile("/b.dat", 9999);
+  snap.Canonicalize();
+  CompiledBenchmark bench = Compile(t, snap, {});
+  EmulationPolicy policy;
+  policy.target_os = "linux";
+  PosixReplayEnv env(root_, policy);
+  env.Initialize(bench.snapshot);
+  ReplayReport report = Replay(bench, env);
+  EXPECT_EQ(report.failed_events, 0u) << report.Summary();
+  struct stat sa;
+  struct stat sb;
+  ASSERT_EQ(::stat((root_ + "/a.dat").c_str(), &sa), 0);
+  ASSERT_EQ(::stat((root_ + "/b.dat").c_str(), &sb), 0);
+  EXPECT_EQ(sa.st_size, 9999);  // contents swapped
+  EXPECT_EQ(sb.st_size, 100);
+}
+
+TEST_F(PosixEnvTest, FdRemappingAcrossGenerations) {
+  // Two consecutive generations of "fd 3" in the trace (T2 opens after T1
+  // closes). During replay the generations are not ordered against each
+  // other (fd name ordering is useless, Sec. 4.2), so they may coexist; the
+  // slot table must route each thread's calls to its own runtime fd.
+  trace::Trace t;
+  auto add = [&t](trace::TraceEvent ev) -> trace::TraceEvent& {
+    ev.index = t.events.size();
+    t.events.push_back(ev);
+    return t.events.back();
+  };
+  auto& o1 = add(Ev(1, trace::Sys::kOpen, 3, 0));
+  o1.path = "/x";
+  o1.flags = trace::kOpenRead;
+  o1.fd = 3;
+  auto& r1 = add(Ev(1, trace::Sys::kPRead, 512, 2000));
+  r1.fd = 3;
+  r1.size = 512;
+  r1.offset = 0;
+  auto& c1 = add(Ev(1, trace::Sys::kClose, 0, 4000));
+  c1.fd = 3;
+  auto& o2 = add(Ev(2, trace::Sys::kOpen, 3, 5000));
+  o2.path = "/y";
+  o2.flags = trace::kOpenRead;
+  o2.fd = 3;
+  auto& r2 = add(Ev(2, trace::Sys::kPRead, 1024, 7000));
+  r2.fd = 3;
+  r2.size = 1024;
+  r2.offset = 0;
+  auto& c2 = add(Ev(2, trace::Sys::kClose, 0, 9000));
+  c2.fd = 3;
+
+  trace::FsSnapshot snap;
+  snap.AddFile("/x", 4096);
+  snap.AddFile("/y", 4096);
+  snap.Canonicalize();
+  CompiledBenchmark bench = Compile(t, snap, {});
+  EXPECT_EQ(bench.fd_slot_count, 2u);
+  PosixReplayEnv env(root_);
+  env.Initialize(bench.snapshot);
+  ReplayReport report = Replay(bench, env);
+  EXPECT_EQ(report.failed_events, 0u) << report.Summary();
+}
+
+}  // namespace
+}  // namespace artc::core

@@ -1,0 +1,218 @@
+// Parameterized property tests over the replay pipeline: invariants that
+// must hold for every (workload, replay method, storage target, seed)
+// combination.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "src/core/artc.h"
+#include "src/workloads/magritte.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/minikv.h"
+
+namespace artc::core {
+namespace {
+
+using workloads::SourceConfig;
+using workloads::TracedRun;
+
+std::unique_ptr<workloads::Workload> MakeWorkload(const std::string& name) {
+  if (name == "random-readers") {
+    workloads::RandomReaders::Options opt;
+    opt.threads = 3;
+    opt.reads_per_thread = 40;
+    opt.file_bytes = 16ULL << 20;
+    return std::make_unique<workloads::RandomReaders>(opt);
+  }
+  if (name == "kv-fillsync") {
+    workloads::KvFillSync::Options opt;
+    opt.threads = 4;
+    opt.puts_per_thread = 30;
+    return std::make_unique<workloads::KvFillSync>(opt);
+  }
+  if (name == "kv-readrandom") {
+    workloads::KvReadRandom::Options opt;
+    opt.threads = 4;
+    opt.gets_per_thread = 60;
+    opt.tables = 16;
+    opt.keys_per_table = 500;
+    return std::make_unique<workloads::KvReadRandom>(opt);
+  }
+  if (name == "magritte-edit") {
+    workloads::MagritteSpec spec = workloads::FindMagritteSpec("iphoto_edit");
+    spec.scale = 16;  // trimmed for test speed
+    spec.xattr_init_gaps = 0;
+    return workloads::MakeMagritteWorkload(spec);
+  }
+  ADD_FAILURE() << "unknown workload " << name;
+  return nullptr;
+}
+
+const TracedRun& CachedTrace(const std::string& workload) {
+  static auto* cache = new std::map<std::string, TracedRun>();
+  auto it = cache->find(workload);
+  if (it == cache->end()) {
+    std::unique_ptr<workloads::Workload> w = MakeWorkload(workload);
+    SourceConfig src;
+    src.storage = storage::MakeNamedConfig("ssd");
+    it = cache->emplace(workload, TraceWorkload(*w, src)).first;
+  }
+  return it->second;
+}
+
+using Param = std::tuple<std::string, ReplayMethod, std::string, int>;
+
+class ReplayProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ReplayProperty, ReplayInvariantsHold) {
+  const auto& [workload, method, target_name, seed] = GetParam();
+  const TracedRun& run = CachedTrace(workload);
+  ASSERT_GT(run.trace.events.size(), 0u);
+
+  CompileOptions copt;
+  copt.method = method;
+  CompiledBenchmark bench = Compile(run.trace, run.snapshot, copt);
+
+  // Compile-time invariants.
+  ASSERT_EQ(bench.actions.size(), run.trace.events.size());
+  size_t placed = 0;
+  for (const auto& list : bench.thread_actions) {
+    uint32_t prev = 0;
+    bool first = true;
+    for (uint32_t idx : list) {
+      if (!first) {
+        EXPECT_LT(prev, idx);  // per-thread lists ascend in trace order
+      }
+      prev = idx;
+      first = false;
+      placed++;
+    }
+  }
+  EXPECT_EQ(placed, bench.actions.size());  // every action on exactly one thread
+  for (const CompiledAction& a : bench.actions) {
+    EXPECT_GE(a.predelay, 0);
+    for (const Dep& d : a.deps) {
+      EXPECT_LT(d.event, a.ev.index);  // DAG: edges point backward
+    }
+  }
+
+  // Replay-time invariants.
+  SimTarget target;
+  target.storage = storage::MakeNamedConfig(target_name);
+  target.seed = static_cast<uint64_t>(seed);
+  SimReplayResult res = ReplayCompiledOnSimTarget(bench, target);
+  EXPECT_EQ(res.report.total_events, bench.actions.size());
+  EXPECT_GT(res.report.wall_time, 0);
+  EXPECT_GE(res.report.TotalThreadTime(), 0);
+
+  for (const CompiledAction& a : bench.actions) {
+    const ActionOutcome& out = res.report.outcomes[a.ev.index];
+    EXPECT_TRUE(out.executed);
+    EXPECT_LE(out.issue, out.complete);
+    // Completion-ordering rules were honoured during replay.
+    for (const Dep& d : a.deps) {
+      const ActionOutcome& dep_out = res.report.outcomes[d.event];
+      if (d.kind == DepKind::kCompletion) {
+        EXPECT_LE(dep_out.complete, out.issue)
+            << "completion dep " << d.event << " -> " << a.ev.index;
+      } else {
+        EXPECT_LE(dep_out.issue, out.issue)
+            << "issue dep " << d.event << " -> " << a.ev.index;
+      }
+    }
+  }
+
+  // Constrained methods must be semantically clean on these well-formed
+  // workloads (unconstrained may race).
+  if (method != ReplayMethod::kUnconstrained) {
+    EXPECT_EQ(res.report.failed_events, 0u)
+        << workload << "/" << ReplayMethodName(method) << "/" << target_name << ": "
+        << res.report.Summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ReplayProperty,
+    ::testing::Combine(::testing::Values("random-readers", "kv-fillsync",
+                                         "kv-readrandom", "magritte-edit"),
+                       ::testing::Values(ReplayMethod::kArtc,
+                                         ReplayMethod::kSingleThreaded,
+                                         ReplayMethod::kTemporal,
+                                         ReplayMethod::kUnconstrained),
+                       ::testing::Values("ssd", "hdd", "smallcache"),
+                       ::testing::Values(1, 99)),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      name += std::string("_") + ReplayMethodName(std::get<1>(param_info.param));
+      name += "_" + std::get<2>(param_info.param);
+      name += "_s" + std::to_string(std::get<3>(param_info.param));
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name;
+    });
+
+// Determinism: the same compiled benchmark replayed twice with the same
+// target seed produces identical timing.
+class ReplayDeterminism : public ::testing::TestWithParam<ReplayMethod> {};
+
+TEST_P(ReplayDeterminism, SameSeedSameTiming) {
+  const TracedRun& run = CachedTrace("kv-readrandom");
+  CompileOptions copt;
+  copt.method = GetParam();
+  CompiledBenchmark bench = Compile(run.trace, run.snapshot, copt);
+  SimTarget target;
+  target.storage = storage::MakeNamedConfig("hdd");
+  target.seed = 5;
+  SimReplayResult a = ReplayCompiledOnSimTarget(bench, target);
+  SimReplayResult b = ReplayCompiledOnSimTarget(bench, target);
+  EXPECT_EQ(a.report.wall_time, b.report.wall_time);
+  EXPECT_EQ(a.report.failed_events, b.report.failed_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, ReplayDeterminism,
+                         ::testing::Values(ReplayMethod::kArtc,
+                                           ReplayMethod::kTemporal,
+                                           ReplayMethod::kUnconstrained),
+                         [](const ::testing::TestParamInfo<ReplayMethod>& param_info) {
+                           return std::string(ReplayMethodName(param_info.param));
+                         });
+
+// Mode lattice: disabling rules can only remove dependency edges.
+TEST(ReplayModes, DisablingRulesRemovesEdges) {
+  const TracedRun& run = CachedTrace("magritte-edit");
+  CompileOptions all;
+  CompiledBenchmark full = Compile(run.trace, run.snapshot, all);
+  for (auto disable : {0, 1, 2, 3}) {
+    CompileOptions opt;
+    switch (disable) {
+      case 0:
+        opt.modes.file_seq = false;
+        break;
+      case 1:
+        opt.modes.path_stage_name = false;
+        break;
+      case 2:
+        opt.modes.fd_stage = false;
+        break;
+      case 3:
+        opt.modes.aio_stage = false;
+        break;
+    }
+    CompiledBenchmark reduced = Compile(run.trace, run.snapshot, opt);
+    EXPECT_LE(reduced.edge_stats.TotalEdges(), full.edge_stats.TotalEdges()) << disable;
+  }
+  // fd_seq subsumes fd_stage: switching to sequential adds constraints.
+  CompileOptions seq;
+  seq.modes.fd_seq = true;
+  CompiledBenchmark fdseq = Compile(run.trace, run.snapshot, seq);
+  EXPECT_GE(fdseq.edge_stats.count_by_rule[static_cast<size_t>(RuleTag::kFdSeq)],
+            full.edge_stats.count_by_rule[static_cast<size_t>(RuleTag::kFdStage)] / 2);
+}
+
+}  // namespace
+}  // namespace artc::core

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace artc::sim {
+namespace {
+
+TEST(Simulation, SleepAdvancesVirtualTime) {
+  Simulation sim(1);
+  TimeNs observed = -1;
+  sim.Spawn("t", [&] {
+    sim.Sleep(Ms(5));
+    observed = sim.Now();
+  });
+  TimeNs end = sim.Run();
+  EXPECT_EQ(observed, Ms(5));
+  EXPECT_EQ(end, Ms(5));
+  EXPECT_EQ(sim.UnfinishedThreads(), 0u);
+}
+
+TEST(Simulation, ThreadsInterleaveInVirtualTime) {
+  Simulation sim(1);
+  std::vector<int> order;
+  sim.Spawn("a", [&] {
+    sim.Sleep(Ms(10));
+    order.push_back(1);
+  });
+  sim.Spawn("b", [&] {
+    sim.Sleep(Ms(5));
+    order.push_back(2);
+  });
+  sim.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Simulation, DeterministicAcrossRunsWithSameSeed) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i) {
+      sim.Spawn("t", [&, i] {
+        sim.Sleep(Ms(1));  // all runnable at the same instant
+        order.push_back(i);
+      });
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run(42), run(42));
+  // Different seeds should (very likely) produce different interleavings.
+  EXPECT_NE(run(1), run(12345));
+}
+
+TEST(Simulation, SpawnFromSimThread) {
+  Simulation sim(1);
+  bool child_ran = false;
+  sim.Spawn("parent", [&] {
+    sim.Sleep(Ms(1));
+    SimThreadId child = sim.Spawn("child", [&] {
+      sim.Sleep(Ms(2));
+      child_ran = true;
+    });
+    sim.Join(child);
+    EXPECT_TRUE(child_ran);
+    EXPECT_EQ(sim.Now(), Ms(3));
+  });
+  sim.Run();
+  EXPECT_TRUE(child_ran);
+  EXPECT_EQ(sim.UnfinishedThreads(), 0u);
+}
+
+TEST(Simulation, JoinFinishedThreadReturnsImmediately) {
+  Simulation sim(1);
+  SimThreadId worker = sim.Spawn("w", [&] { sim.Sleep(Ms(1)); });
+  sim.Spawn("joiner", [&] {
+    sim.Sleep(Ms(10));
+    TimeNs before = sim.Now();
+    sim.Join(worker);
+    EXPECT_EQ(sim.Now(), before);
+  });
+  sim.Run();
+}
+
+TEST(Simulation, CallbacksFireInOrder) {
+  Simulation sim(1);
+  std::vector<int> seen;
+  sim.ScheduleCallback(Ms(3), [&] { seen.push_back(3); });
+  sim.ScheduleCallback(Ms(1), [&] { seen.push_back(1); });
+  sim.ScheduleCallback(Ms(2), [&] { seen.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, CancelCallback) {
+  Simulation sim(1);
+  bool fired = false;
+  uint64_t id = sim.ScheduleCallback(Ms(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.CancelCallback(id));
+  EXPECT_FALSE(sim.CancelCallback(id));  // already cancelled
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CallbackCanScheduleCallback) {
+  Simulation sim(1);
+  TimeNs second_fire = 0;
+  sim.ScheduleCallback(Ms(1), [&] {
+    sim.ScheduleCallback(sim.Now() + Ms(2), [&] { second_fire = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(second_fire, Ms(3));
+}
+
+TEST(SimCondVar, WaitAndNotifyAll) {
+  Simulation sim(1);
+  SimCondVar cv(&sim);
+  bool ready = false;
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn("waiter", [&] {
+      while (!ready) {
+        cv.Wait();
+      }
+      woke++;
+    });
+  }
+  sim.Spawn("notifier", [&] {
+    sim.Sleep(Ms(1));
+    ready = true;
+    cv.NotifyAll();
+  });
+  sim.Run();
+  EXPECT_EQ(woke, 3);
+  EXPECT_EQ(sim.UnfinishedThreads(), 0u);
+}
+
+TEST(SimCondVar, NotifyOneWakesExactlyOne) {
+  Simulation sim(1);
+  SimCondVar cv(&sim);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn("waiter", [&] {
+      cv.Wait();
+      woke++;
+    });
+  }
+  sim.Spawn("notifier", [&] {
+    sim.Sleep(Ms(1));
+    cv.NotifyOne();
+  });
+  sim.Run();
+  EXPECT_EQ(woke, 1);
+  EXPECT_EQ(sim.UnfinishedThreads(), 2u);  // two still blocked (intentional)
+}
+
+TEST(SimMutex, MutualExclusionInVirtualTime) {
+  Simulation sim(1);
+  SimMutex mu(&sim);
+  TimeNs t2_acquired = 0;
+  sim.Spawn("holder", [&] {
+    mu.Lock();
+    sim.Sleep(Ms(10));
+    mu.Unlock();
+  });
+  sim.Spawn("waiter", [&] {
+    sim.Sleep(Ms(1));  // ensure holder grabs it first
+    mu.Lock();
+    t2_acquired = sim.Now();
+    mu.Unlock();
+  });
+  sim.Run();
+  EXPECT_EQ(t2_acquired, Ms(10));
+}
+
+TEST(SimMutex, LockGuard) {
+  Simulation sim(1);
+  SimMutex mu(&sim);
+  sim.Spawn("t", [&] {
+    SimLockGuard g(mu);
+    EXPECT_TRUE(mu.Held());
+  });
+  sim.Run();
+  EXPECT_FALSE(mu.Held());
+}
+
+TEST(Simulation, ManyThreadsStress) {
+  Simulation sim(99);
+  constexpr int kThreads = 50;
+  constexpr int kIters = 20;
+  int64_t counter = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    sim.Spawn("worker", [&] {
+      for (int j = 0; j < kIters; ++j) {
+        sim.Sleep(Us(100));
+        counter++;
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(counter, kThreads * kIters);
+  EXPECT_EQ(sim.UnfinishedThreads(), 0u);
+  EXPECT_EQ(sim.Now(), Us(100) * kIters);
+}
+
+TEST(Simulation, DestructorReleasesBlockedThreads) {
+  // A deadlocked program must not hang the test process.
+  auto sim = std::make_unique<Simulation>(1);
+  SimCondVar cv(sim.get());
+  sim->Spawn("stuck", [&] { cv.Wait(); });
+  sim->Run();
+  EXPECT_EQ(sim->UnfinishedThreads(), 1u);
+  sim.reset();  // must join cleanly
+}
+
+}  // namespace
+}  // namespace artc::sim

@@ -1,0 +1,135 @@
+// Additional strace-parser coverage: the call shapes a real `strace -f -ttt
+// -T -y` session produces for every family the replayer understands.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/strace_parser.h"
+
+namespace artc::trace {
+namespace {
+
+TraceEvent MustParse(const std::string& line) {
+  TraceEvent ev;
+  std::string error;
+  bool ok = ParseStraceLine(line, &ev, &error);
+  EXPECT_TRUE(ok) << line << " -> " << error;
+  return ev;
+}
+
+TEST(StraceExtra, Dup2) {
+  TraceEvent ev = MustParse("7 2.5 dup2(3, 9) = 9 <0.000004>");
+  EXPECT_EQ(ev.call, Sys::kDup2);
+  EXPECT_EQ(ev.fd, 3);
+  EXPECT_EQ(ev.fd2, 9);
+  EXPECT_EQ(ev.ret, 9);
+}
+
+TEST(StraceExtra, FdDecorations) {
+  // strace -y decorates descriptors with their path.
+  TraceEvent ev = MustParse("7 2.5 read(3</var/log/app.log>, \"x\"..., 8192) = 8192");
+  EXPECT_EQ(ev.fd, 3);
+  EXPECT_EQ(ev.size, 8192u);
+}
+
+TEST(StraceExtra, SymlinkAndReadlink) {
+  TraceEvent s = MustParse("7 2.5 symlink(\"/target\", \"/link\") = 0");
+  EXPECT_EQ(s.call, Sys::kSymlink);
+  EXPECT_EQ(s.path, "/target");
+  EXPECT_EQ(s.path2, "/link");
+  TraceEvent r = MustParse("7 2.6 readlink(\"/link\", \"/target\", 4096) = 7");
+  EXPECT_EQ(r.call, Sys::kReadlink);
+  EXPECT_EQ(r.path, "/link");
+}
+
+TEST(StraceExtra, LseekWhenceSymbols) {
+  EXPECT_EQ(MustParse("7 1.0 lseek(3, 100, SEEK_SET) = 100").whence, 0);
+  EXPECT_EQ(MustParse("7 1.0 lseek(3, 100, SEEK_CUR) = 200").whence, 1);
+  EXPECT_EQ(MustParse("7 1.0 lseek(3, -100, SEEK_END) = 900").whence, 2);
+  EXPECT_EQ(MustParse("7 1.0 lseek(3, -100, SEEK_END) = 900").offset, -100);
+}
+
+TEST(StraceExtra, MkdirWithOctalMode) {
+  TraceEvent ev = MustParse("7 1.0 mkdir(\"/d\", 0755) = 0");
+  EXPECT_EQ(ev.call, Sys::kMkdir);
+  EXPECT_EQ(ev.mode, 0755u);
+}
+
+TEST(StraceExtra, XattrCalls) {
+  TraceEvent g = MustParse(
+      "7 1.0 getxattr(\"/f\", \"user.k\", 0x7ffc, 128) = -1 ENODATA (No data "
+      "available)");
+  EXPECT_EQ(g.call, Sys::kGetXattr);
+  EXPECT_EQ(g.name, "user.k");
+  EXPECT_EQ(g.ret, -kENODATA);
+  TraceEvent f = MustParse("7 1.0 fsetxattr(5, \"user.k\", \"v\", 1, 0) = 0");
+  EXPECT_EQ(f.call, Sys::kFSetXattr);
+  EXPECT_EQ(f.fd, 5);
+}
+
+TEST(StraceExtra, StatStructArgumentSkipped) {
+  // The {st_mode=..., st_size=...} struct must not confuse argument parsing.
+  TraceEvent ev = MustParse(
+      "7 1.0 stat(\"/etc/passwd\", {st_mode=S_IFREG|0644, st_size=2477, ...}) = 0");
+  EXPECT_EQ(ev.call, Sys::kStat);
+  EXPECT_EQ(ev.path, "/etc/passwd");
+}
+
+TEST(StraceExtra, UnlinkatNormalizedToUnlink) {
+  TraceEvent ev = MustParse("7 1.0 unlinkat(AT_FDCWD, \"/tmp/x\", 0) = 0");
+  EXPECT_EQ(ev.call, Sys::kUnlink);
+  EXPECT_EQ(ev.path, "/tmp/x");
+}
+
+TEST(StraceExtra, RenameatNormalizedToRename) {
+  TraceEvent ev =
+      MustParse("7 1.0 renameat(AT_FDCWD, \"/a\", AT_FDCWD, \"/b\") = 0");
+  EXPECT_EQ(ev.call, Sys::kRename);
+  EXPECT_EQ(ev.path, "/a");
+  EXPECT_EQ(ev.path2, "/b");
+}
+
+TEST(StraceExtra, NoPidColumn) {
+  // Without -f there is no pid column; tid defaults to 0.
+  TraceEvent ev = MustParse("1700000000.123456 close(3) = 0 <0.000001>");
+  EXPECT_EQ(ev.tid, 0u);
+  EXPECT_EQ(ev.call, Sys::kClose);
+}
+
+TEST(StraceExtra, EscapedBytesInsideBuffers) {
+  TraceEvent ev = MustParse(
+      "7 1.0 write(4, \"line\\n with \\\"quotes\\\" and \\t tabs\"..., 64) = 64");
+  EXPECT_EQ(ev.call, Sys::kWrite);
+  EXPECT_EQ(ev.size, 64u);
+  EXPECT_EQ(ev.ret, 64);
+}
+
+TEST(StraceExtra, SignalAndExitLinesSkipped) {
+  std::stringstream ss;
+  ss << "7 1.0 --- SIGCHLD {si_signo=SIGCHLD} ---\n"
+     << "7 1.1 +++ exited with 0 +++\n"
+     << "7 1.2 close(3) = 0\n";
+  StraceParseResult r = ParseStrace(ss);
+  EXPECT_EQ(r.trace.events.size(), 1u);
+}
+
+TEST(StraceExtra, FallocateAndFadvise) {
+  TraceEvent fa = MustParse("7 1.0 fallocate(5, 0, 0, 1048576) = 0");
+  EXPECT_EQ(fa.call, Sys::kFallocate);
+  EXPECT_EQ(fa.fd, 5);
+  EXPECT_EQ(fa.size, 1048576u);
+  TraceEvent ad = MustParse("7 1.0 posix_fadvise(5, 0, 65536, POSIX_FADV_WILLNEED) = 0");
+  EXPECT_EQ(ad.call, Sys::kFadvise);
+}
+
+TEST(StraceExtra, MmapFileBacked) {
+  TraceEvent ev = MustParse(
+      "7 1.0 mmap(NULL, 8192, PROT_READ, MAP_PRIVATE, 4, 0) = 0x7f0000000000");
+  // The hex return does not parse as a plain number path; mmap keeps fd+size.
+  EXPECT_EQ(ev.call, Sys::kMmap);
+  EXPECT_EQ(ev.fd, 4);
+  EXPECT_EQ(ev.size, 8192u);
+}
+
+}  // namespace
+}  // namespace artc::trace

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "src/core/artc.h"
+#include "src/core/timeline.h"
+#include "src/workloads/micro.h"
+
+namespace artc::core {
+namespace {
+
+using workloads::SourceConfig;
+using workloads::TracedRun;
+
+TracedRun SmallTrace() {
+  workloads::RandomReaders::Options opt;
+  opt.threads = 3;
+  opt.reads_per_thread = 20;
+  opt.file_bytes = 8ULL << 20;
+  workloads::RandomReaders w(opt);
+  SourceConfig src;
+  src.storage = storage::MakeNamedConfig("hdd");
+  return TraceWorkload(w, src);
+}
+
+TEST(Timeline, TraceTimelineHasOneRowPerThread) {
+  TracedRun run = SmallTrace();
+  TimelineOptions opt;
+  opt.width = 60;
+  std::string s = RenderTraceTimeline(run.trace, opt);
+  size_t rows = 0;
+  for (char c : s) {
+    rows += c == '\n';
+  }
+  // One row per thread plus the axis line.
+  EXPECT_EQ(rows, run.trace.ThreadIds().size() + 1);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  // Every timeline row is exactly |width| columns between the bars.
+  size_t bar = s.find('|');
+  size_t bar2 = s.find('|', bar + 1);
+  EXPECT_EQ(bar2 - bar - 1, opt.width);
+}
+
+TEST(Timeline, ReplayTimelineShowsBusySpans) {
+  TracedRun run = SmallTrace();
+  CompiledBenchmark bench = Compile(run.trace, run.snapshot, {});
+  SimTarget target;
+  target.storage = storage::MakeNamedConfig("hdd");
+  SimReplayResult res = ReplayCompiledOnSimTarget(bench, target);
+  std::string s = RenderTimeline(bench, res.report, {});
+  EXPECT_NE(s.find('#'), std::string::npos);
+  // Three reader threads plus the spawning main thread appear.
+  size_t rows = 0;
+  for (char c : s) {
+    rows += c == '\n';
+  }
+  EXPECT_EQ(rows, bench.thread_ids.size() + 1);
+}
+
+TEST(Timeline, WindowClipsSpans) {
+  TracedRun run = SmallTrace();
+  TimelineOptions window;
+  window.width = 40;
+  // A window entirely after the run: all idle.
+  window.window_start = run.elapsed * 10;
+  window.window_duration = Sec(1);
+  std::string s = RenderTraceTimeline(run.trace, window);
+  EXPECT_EQ(s.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace artc::core

@@ -1,0 +1,165 @@
+// Parameterized VFS property sweeps: the simulated kernel's invariants must
+// hold across every (fs profile, storage config) combination.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "src/sim/simulation.h"
+#include "src/storage/storage_stack.h"
+#include "src/vfs/vfs.h"
+
+namespace artc::vfs {
+namespace {
+
+using trace::kOpenAppend;
+using trace::kOpenCreate;
+using trace::kOpenRead;
+using trace::kOpenWrite;
+
+using Param = std::tuple<std::string, std::string>;  // (fs profile, storage)
+
+class VfsSweep : public ::testing::TestWithParam<Param> {
+ protected:
+  void RunInSim(std::function<void(Vfs&, sim::Simulation&)> body) {
+    const auto& [fs_name, storage_name] = GetParam();
+    sim::Simulation sim(17);
+    storage::StorageStack stack(&sim, storage::MakeNamedConfig(storage_name));
+    Vfs vfs(&sim, &stack, MakeFsProfile(fs_name));
+    sim.Spawn("t", [&] { body(vfs, sim); });
+    sim.Run();
+    ASSERT_EQ(sim.UnfinishedThreads(), 0u);
+  }
+};
+
+TEST_P(VfsSweep, WriteThenReadBackSizes) {
+  RunInSim([](Vfs& vfs, sim::Simulation&) {
+    int32_t fd = static_cast<int32_t>(
+        vfs.Open("/f", kOpenWrite | kOpenCreate).value);
+    ASSERT_GE(fd, 3);
+    uint64_t total = 0;
+    for (uint64_t chunk : {4096ull, 100ull, 65536ull, 1ull, 123456ull}) {
+      EXPECT_EQ(vfs.Write(fd, chunk).value, static_cast<int64_t>(chunk));
+      total += chunk;
+      EXPECT_EQ(vfs.FileSize("/f"), total);
+    }
+    EXPECT_TRUE(vfs.Fsync(fd).ok());
+    EXPECT_TRUE(vfs.Close(fd).ok());
+    // Reads clamp at EOF from any offset.
+    fd = static_cast<int32_t>(vfs.Open("/f", kOpenRead).value);
+    EXPECT_EQ(vfs.Pread(fd, 1 << 20, static_cast<int64_t>(total - 10)).value, 10);
+    EXPECT_EQ(vfs.Pread(fd, 10, static_cast<int64_t>(total)).value, 0);
+    vfs.Close(fd);
+  });
+}
+
+TEST_P(VfsSweep, FsyncDrainsFileDirtyPages) {
+  RunInSim([](Vfs& vfs, sim::Simulation&) {
+    int32_t fd = static_cast<int32_t>(
+        vfs.Open("/g", kOpenWrite | kOpenCreate).value);
+    vfs.Write(fd, 1 << 20);
+    EXPECT_TRUE(vfs.Fsync(fd).ok());
+    // The file's own extents must be clean afterwards: a second fsync does
+    // no data I/O beyond journal/barrier bookkeeping.
+    uint64_t before = vfs.stack().MediaWriteBlocks();
+    EXPECT_TRUE(vfs.Fsync(fd).ok());
+    uint64_t after = vfs.stack().MediaWriteBlocks();
+    EXPECT_LE(after - before, 4u);  // at most a journal tail
+    vfs.Close(fd);
+  });
+}
+
+TEST_P(VfsSweep, RenameLoopPreservesSingleBinding) {
+  RunInSim([](Vfs& vfs, sim::Simulation&) {
+    vfs.MustCreateFile("/dir/a", 4096);
+    for (int i = 0; i < 8; ++i) {
+      std::string from = i % 2 == 0 ? "/dir/a" : "/dir/b";
+      std::string to = i % 2 == 0 ? "/dir/b" : "/dir/a";
+      EXPECT_TRUE(vfs.Rename(from, to).ok()) << i;
+      EXPECT_TRUE(vfs.Exists(to));
+      EXPECT_FALSE(vfs.Exists(from));
+      EXPECT_EQ(vfs.FileSize(to), 4096u);
+    }
+  });
+}
+
+TEST_P(VfsSweep, UnlinkedOpenFileKeepsDataUntilClose) {
+  RunInSim([](Vfs& vfs, sim::Simulation&) {
+    vfs.MustCreateFile("/u", 64 << 10);
+    int32_t fd = static_cast<int32_t>(vfs.Open("/u", kOpenRead).value);
+    EXPECT_TRUE(vfs.Unlink("/u").ok());
+    EXPECT_EQ(vfs.Pread(fd, 4096, 0).value, 4096);
+    EXPECT_TRUE(vfs.Close(fd).ok());
+    EXPECT_EQ(vfs.Open("/u", kOpenRead).err, trace::kENOENT);
+  });
+}
+
+TEST_P(VfsSweep, AppendersInterleaveWithoutLosingBytes) {
+  RunInSim([](Vfs& vfs, sim::Simulation& sim) {
+    vfs.MustCreateFile("/log", 0);
+    std::vector<sim::SimThreadId> writers;
+    constexpr int kWriters = 4;
+    constexpr int kAppends = 25;
+    constexpr uint64_t kBytes = 100;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.push_back(sim.Spawn("appender", [&vfs, &sim] {
+        int32_t fd = static_cast<int32_t>(
+            vfs.Open("/log", kOpenWrite | kOpenAppend).value);
+        for (int i = 0; i < kAppends; ++i) {
+          vfs.Write(fd, kBytes);
+          sim.Sleep(Us(7));
+        }
+        vfs.Close(fd);
+      }));
+    }
+    for (auto t : writers) {
+      sim.Join(t);
+    }
+    EXPECT_EQ(vfs.FileSize("/log"), kWriters * kAppends * kBytes);
+  });
+}
+
+TEST_P(VfsSweep, SnapshotRoundTripIsIdempotent) {
+  RunInSim([](Vfs& vfs, sim::Simulation&) {
+    vfs.MustCreateFile("/tree/a/f1", 111);
+    vfs.MustCreateFile("/tree/b/f2", 222);
+    vfs.MustCreateSymlink("/tree/l", "/tree/a/f1");
+    trace::FsSnapshot snap1 = vfs.CaptureSnapshot();
+    vfs.RestoreSnapshot(snap1);  // full re-init from own snapshot
+    trace::FsSnapshot snap2 = vfs.CaptureSnapshot();
+    ASSERT_EQ(snap1.entries.size(), snap2.entries.size());
+    for (size_t i = 0; i < snap1.entries.size(); ++i) {
+      EXPECT_EQ(snap1.entries[i].path, snap2.entries[i].path);
+      EXPECT_EQ(snap1.entries[i].size, snap2.entries[i].size);
+      EXPECT_EQ(static_cast<int>(snap1.entries[i].type),
+                static_cast<int>(snap2.entries[i].type));
+    }
+  });
+}
+
+TEST_P(VfsSweep, JournalGrowsWithMetadataOps) {
+  RunInSim([](Vfs& vfs, sim::Simulation&) {
+    for (int i = 0; i < 50; ++i) {
+      vfs.Mkdir("/d" + std::to_string(i));
+    }
+    int32_t fd = static_cast<int32_t>(
+        vfs.Open("/d0/f", kOpenWrite | kOpenCreate).value);
+    vfs.Write(fd, 4096);
+    uint64_t before = vfs.JournalCommitBlocks();
+    vfs.Fsync(fd);
+    EXPECT_GT(vfs.JournalCommitBlocks(), before);
+    vfs.Close(fd);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, VfsSweep,
+    ::testing::Combine(::testing::Values("ext4", "ext3", "jfs", "xfs"),
+                       ::testing::Values("ssd", "hdd", "raid0")),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
+    });
+
+}  // namespace
+}  // namespace artc::vfs
