@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_components_micro.dir/bench_components_micro.cc.o"
+  "CMakeFiles/bench_components_micro.dir/bench_components_micro.cc.o.d"
+  "bench_components_micro"
+  "bench_components_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_components_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

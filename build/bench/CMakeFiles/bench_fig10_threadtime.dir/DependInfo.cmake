@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_threadtime.cc" "bench/CMakeFiles/bench_fig10_threadtime.dir/bench_fig10_threadtime.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_threadtime.dir/bench_fig10_threadtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/artc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/artc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsmodel/CMakeFiles/artc_fsmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/artc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/artc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/artc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/artc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/artc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

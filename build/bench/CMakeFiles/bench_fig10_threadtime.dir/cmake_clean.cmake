@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_threadtime.dir/bench_fig10_threadtime.cc.o"
+  "CMakeFiles/bench_fig10_threadtime.dir/bench_fig10_threadtime.cc.o.d"
+  "bench_fig10_threadtime"
+  "bench_fig10_threadtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_threadtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_raid.dir/bench_fig5b_raid.cc.o"
+  "CMakeFiles/bench_fig5b_raid.dir/bench_fig5b_raid.cc.o.d"
+  "bench_fig5b_raid"
+  "bench_fig5b_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_slice.dir/bench_fig5d_slice.cc.o"
+  "CMakeFiles/bench_fig5d_slice.dir/bench_fig5d_slice.cc.o.d"
+  "bench_fig5d_slice"
+  "bench_fig5d_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

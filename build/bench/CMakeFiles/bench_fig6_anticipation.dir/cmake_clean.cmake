@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_anticipation.dir/bench_fig6_anticipation.cc.o"
+  "CMakeFiles/bench_fig6_anticipation.dir/bench_fig6_anticipation.cc.o.d"
+  "bench_fig6_anticipation"
+  "bench_fig6_anticipation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_anticipation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_minikv.dir/bench_fig7_minikv.cc.o"
+  "CMakeFiles/bench_fig7_minikv.dir/bench_fig7_minikv.cc.o.d"
+  "bench_fig7_minikv"
+  "bench_fig7_minikv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_minikv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_depgraph.dir/bench_fig8_depgraph.cc.o"
+  "CMakeFiles/bench_fig8_depgraph.dir/bench_fig8_depgraph.cc.o.d"
+  "bench_fig8_depgraph"
+  "bench_fig8_depgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_compile.dir/artc_compile.cpp.o"
+  "CMakeFiles/artc_compile.dir/artc_compile.cpp.o.d"
+  "artc_compile"
+  "artc_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_platform_replay.dir/cross_platform_replay.cpp.o"
+  "CMakeFiles/cross_platform_replay.dir/cross_platform_replay.cpp.o.d"
+  "cross_platform_replay"
+  "cross_platform_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_platform_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leveldb_replay.dir/leveldb_replay.cpp.o"
+  "CMakeFiles/leveldb_replay.dir/leveldb_replay.cpp.o.d"
+  "leveldb_replay"
+  "leveldb_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leveldb_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magritte_suite.dir/magritte_suite.cpp.o"
+  "CMakeFiles/magritte_suite.dir/magritte_suite.cpp.o.d"
+  "magritte_suite"
+  "magritte_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magritte_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/artc.cc" "src/core/CMakeFiles/artc_core.dir/artc.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/artc.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "src/core/CMakeFiles/artc_core.dir/compiler.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/compiler.cc.o.d"
+  "/root/repo/src/core/emulation.cc" "src/core/CMakeFiles/artc_core.dir/emulation.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/emulation.cc.o.d"
+  "/root/repo/src/core/modes.cc" "src/core/CMakeFiles/artc_core.dir/modes.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/modes.cc.o.d"
+  "/root/repo/src/core/posix_env.cc" "src/core/CMakeFiles/artc_core.dir/posix_env.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/posix_env.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/artc_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/report.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/artc_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/sim_env.cc" "src/core/CMakeFiles/artc_core.dir/sim_env.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/sim_env.cc.o.d"
+  "/root/repo/src/core/timeline.cc" "src/core/CMakeFiles/artc_core.dir/timeline.cc.o" "gcc" "src/core/CMakeFiles/artc_core.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsmodel/CMakeFiles/artc_fsmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/artc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/artc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/artc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/artc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/artc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

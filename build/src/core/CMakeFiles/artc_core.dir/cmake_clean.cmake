@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_core.dir/artc.cc.o"
+  "CMakeFiles/artc_core.dir/artc.cc.o.d"
+  "CMakeFiles/artc_core.dir/compiler.cc.o"
+  "CMakeFiles/artc_core.dir/compiler.cc.o.d"
+  "CMakeFiles/artc_core.dir/emulation.cc.o"
+  "CMakeFiles/artc_core.dir/emulation.cc.o.d"
+  "CMakeFiles/artc_core.dir/modes.cc.o"
+  "CMakeFiles/artc_core.dir/modes.cc.o.d"
+  "CMakeFiles/artc_core.dir/posix_env.cc.o"
+  "CMakeFiles/artc_core.dir/posix_env.cc.o.d"
+  "CMakeFiles/artc_core.dir/report.cc.o"
+  "CMakeFiles/artc_core.dir/report.cc.o.d"
+  "CMakeFiles/artc_core.dir/serialize.cc.o"
+  "CMakeFiles/artc_core.dir/serialize.cc.o.d"
+  "CMakeFiles/artc_core.dir/sim_env.cc.o"
+  "CMakeFiles/artc_core.dir/sim_env.cc.o.d"
+  "CMakeFiles/artc_core.dir/timeline.cc.o"
+  "CMakeFiles/artc_core.dir/timeline.cc.o.d"
+  "libartc_core.a"
+  "libartc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_fsmodel.dir/resource_model.cc.o"
+  "CMakeFiles/artc_fsmodel.dir/resource_model.cc.o.d"
+  "libartc_fsmodel.a"
+  "libartc_fsmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_fsmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

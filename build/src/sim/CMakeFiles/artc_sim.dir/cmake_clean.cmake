@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_sim.dir/simulation.cc.o"
+  "CMakeFiles/artc_sim.dir/simulation.cc.o.d"
+  "libartc_sim.a"
+  "libartc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/hdd_model.cc" "src/storage/CMakeFiles/artc_storage.dir/hdd_model.cc.o" "gcc" "src/storage/CMakeFiles/artc_storage.dir/hdd_model.cc.o.d"
+  "/root/repo/src/storage/io_scheduler.cc" "src/storage/CMakeFiles/artc_storage.dir/io_scheduler.cc.o" "gcc" "src/storage/CMakeFiles/artc_storage.dir/io_scheduler.cc.o.d"
+  "/root/repo/src/storage/page_cache.cc" "src/storage/CMakeFiles/artc_storage.dir/page_cache.cc.o" "gcc" "src/storage/CMakeFiles/artc_storage.dir/page_cache.cc.o.d"
+  "/root/repo/src/storage/raid0.cc" "src/storage/CMakeFiles/artc_storage.dir/raid0.cc.o" "gcc" "src/storage/CMakeFiles/artc_storage.dir/raid0.cc.o.d"
+  "/root/repo/src/storage/ssd_model.cc" "src/storage/CMakeFiles/artc_storage.dir/ssd_model.cc.o" "gcc" "src/storage/CMakeFiles/artc_storage.dir/ssd_model.cc.o.d"
+  "/root/repo/src/storage/storage_stack.cc" "src/storage/CMakeFiles/artc_storage.dir/storage_stack.cc.o" "gcc" "src/storage/CMakeFiles/artc_storage.dir/storage_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/artc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/artc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

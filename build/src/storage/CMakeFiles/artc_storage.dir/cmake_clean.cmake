@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_storage.dir/hdd_model.cc.o"
+  "CMakeFiles/artc_storage.dir/hdd_model.cc.o.d"
+  "CMakeFiles/artc_storage.dir/io_scheduler.cc.o"
+  "CMakeFiles/artc_storage.dir/io_scheduler.cc.o.d"
+  "CMakeFiles/artc_storage.dir/page_cache.cc.o"
+  "CMakeFiles/artc_storage.dir/page_cache.cc.o.d"
+  "CMakeFiles/artc_storage.dir/raid0.cc.o"
+  "CMakeFiles/artc_storage.dir/raid0.cc.o.d"
+  "CMakeFiles/artc_storage.dir/ssd_model.cc.o"
+  "CMakeFiles/artc_storage.dir/ssd_model.cc.o.d"
+  "CMakeFiles/artc_storage.dir/storage_stack.cc.o"
+  "CMakeFiles/artc_storage.dir/storage_stack.cc.o.d"
+  "libartc_storage.a"
+  "libartc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

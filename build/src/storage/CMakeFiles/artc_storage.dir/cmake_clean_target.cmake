@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libartc_storage.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/event.cc" "src/trace/CMakeFiles/artc_trace.dir/event.cc.o" "gcc" "src/trace/CMakeFiles/artc_trace.dir/event.cc.o.d"
+  "/root/repo/src/trace/snapshot.cc" "src/trace/CMakeFiles/artc_trace.dir/snapshot.cc.o" "gcc" "src/trace/CMakeFiles/artc_trace.dir/snapshot.cc.o.d"
+  "/root/repo/src/trace/strace_parser.cc" "src/trace/CMakeFiles/artc_trace.dir/strace_parser.cc.o" "gcc" "src/trace/CMakeFiles/artc_trace.dir/strace_parser.cc.o.d"
+  "/root/repo/src/trace/syscalls.cc" "src/trace/CMakeFiles/artc_trace.dir/syscalls.cc.o" "gcc" "src/trace/CMakeFiles/artc_trace.dir/syscalls.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/artc_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/artc_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/artc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_trace.dir/event.cc.o"
+  "CMakeFiles/artc_trace.dir/event.cc.o.d"
+  "CMakeFiles/artc_trace.dir/snapshot.cc.o"
+  "CMakeFiles/artc_trace.dir/snapshot.cc.o.d"
+  "CMakeFiles/artc_trace.dir/strace_parser.cc.o"
+  "CMakeFiles/artc_trace.dir/strace_parser.cc.o.d"
+  "CMakeFiles/artc_trace.dir/syscalls.cc.o"
+  "CMakeFiles/artc_trace.dir/syscalls.cc.o.d"
+  "CMakeFiles/artc_trace.dir/trace_io.cc.o"
+  "CMakeFiles/artc_trace.dir/trace_io.cc.o.d"
+  "libartc_trace.a"
+  "libartc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_util.dir/rng.cc.o"
+  "CMakeFiles/artc_util.dir/rng.cc.o.d"
+  "CMakeFiles/artc_util.dir/stats.cc.o"
+  "CMakeFiles/artc_util.dir/stats.cc.o.d"
+  "CMakeFiles/artc_util.dir/strings.cc.o"
+  "CMakeFiles/artc_util.dir/strings.cc.o.d"
+  "libartc_util.a"
+  "libartc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_vfs.dir/vfs.cc.o"
+  "CMakeFiles/artc_vfs.dir/vfs.cc.o.d"
+  "libartc_vfs.a"
+  "libartc_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artc_workloads.dir/magritte.cc.o"
+  "CMakeFiles/artc_workloads.dir/magritte.cc.o.d"
+  "CMakeFiles/artc_workloads.dir/micro.cc.o"
+  "CMakeFiles/artc_workloads.dir/micro.cc.o.d"
+  "CMakeFiles/artc_workloads.dir/minikv.cc.o"
+  "CMakeFiles/artc_workloads.dir/minikv.cc.o.d"
+  "CMakeFiles/artc_workloads.dir/workload.cc.o"
+  "CMakeFiles/artc_workloads.dir/workload.cc.o.d"
+  "libartc_workloads.a"
+  "libartc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_target_test.dir/emulation_target_test.cc.o"
+  "CMakeFiles/emulation_target_test.dir/emulation_target_test.cc.o.d"
+  "emulation_target_test"
+  "emulation_target_test.pdb"
+  "emulation_target_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_target_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

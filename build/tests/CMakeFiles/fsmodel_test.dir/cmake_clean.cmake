@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsmodel_test.dir/fsmodel_test.cc.o"
+  "CMakeFiles/fsmodel_test.dir/fsmodel_test.cc.o.d"
+  "fsmodel_test"
+  "fsmodel_test.pdb"
+  "fsmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/posix_env_test.cc" "tests/CMakeFiles/posix_env_test.dir/posix_env_test.cc.o" "gcc" "tests/CMakeFiles/posix_env_test.dir/posix_env_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/artc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsmodel/CMakeFiles/artc_fsmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/artc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/artc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/artc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/artc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/artc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_extra_test.dir/storage_extra_test.cc.o"
+  "CMakeFiles/storage_extra_test.dir/storage_extra_test.cc.o.d"
+  "storage_extra_test"
+  "storage_extra_test.pdb"
+  "storage_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

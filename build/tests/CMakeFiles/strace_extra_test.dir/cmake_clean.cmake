@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strace_extra_test.dir/strace_extra_test.cc.o"
+  "CMakeFiles/strace_extra_test.dir/strace_extra_test.cc.o.d"
+  "strace_extra_test"
+  "strace_extra_test.pdb"
+  "strace_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strace_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

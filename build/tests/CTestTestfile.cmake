@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/fsmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_env_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/pacing_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/timeline_test[1]_include.cmake")
+include("/root/repo/build/tests/emulation_target_test[1]_include.cmake")
+include("/root/repo/build/tests/strace_extra_test[1]_include.cmake")
