@@ -7,7 +7,7 @@ namespace artc::core {
 
 SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
                                           const SimTarget& target) {
-  sim::Simulation sim(target.seed);
+  sim::Simulation sim(target.seed, target.sim_backend);
   storage::StorageStack stack(&sim, target.storage);
   vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile(target.fs_profile),
               vfs::MakePlatformProfile(target.platform));
@@ -29,13 +29,14 @@ SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
     }
     result.report = Replay(bench, env, target.replay);
   });
-  sim.Run();
+  result.sim_end_time = sim.Run();
+  result.sim_switches = sim.switch_count();
   return result;
 }
 
 MultiReplayResult ReplayConcurrentlyOnSimTarget(
     const std::vector<const CompiledBenchmark*>& benches, const SimTarget& target) {
-  sim::Simulation sim(target.seed);
+  sim::Simulation sim(target.seed, target.sim_backend);
   storage::StorageStack stack(&sim, target.storage);
   vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile(target.fs_profile),
               vfs::MakePlatformProfile(target.platform));

@@ -12,6 +12,7 @@
 #include "src/core/emulation.h"
 #include "src/core/replay_engine.h"
 #include "src/core/report.h"
+#include "src/sim/simulation.h"
 #include "src/storage/storage_stack.h"
 #include "src/vfs/vfs.h"
 
@@ -26,6 +27,10 @@ struct SimTarget {
   EmulationPolicy emulation;
   ReplayOptions replay;     // pacing
   uint64_t seed = 1;        // simulated-scheduler seed
+  // Context-switch backend for the simulation. The build default (fibers
+  // unless -DARTC_SIM_BACKEND=threads) is right for everything except
+  // differential backend testing.
+  sim::SimBackend sim_backend = sim::DefaultSimBackend();
   bool drop_caches_after_init = true;
   bool delta_init = false;
 };
@@ -34,6 +39,11 @@ struct SimReplayResult {
   ReplayReport report;
   EdgeStats edge_stats;
   uint64_t model_warnings = 0;
+  // Simulator diagnostics for the whole run (init + replay): total simulated
+  // context switches and the final virtual clock. Identical across backends
+  // for the same seed; the throughput bench asserts exactly that.
+  uint64_t sim_switches = 0;
+  TimeNs sim_end_time = 0;
 };
 
 // Compiles the trace under `options` and replays it on the simulated target.

@@ -202,10 +202,8 @@ class DepBuilder {
   }
 
   void FinishEvent() {
-    // Drop the dep on the immediate same-thread predecessor: thread order
-    // already enforces it structurally.
-    uint32_t prev_same_thread = prev_in_thread_;
-    (void)prev_same_thread;
+    // Same-thread structural deps were already skipped in AddDep; all that
+    // remains is ordering the dep list for deterministic output.
     std::sort(cur_deps_->begin(), cur_deps_->end(),
               [](const Dep& a, const Dep& b) { return a.event < b.event; });
   }
@@ -215,7 +213,6 @@ class DepBuilder {
   CompiledBenchmark* out_;
   std::vector<Cursor> cursors_;
   uint32_t cur_event_ = 0;
-  uint32_t prev_in_thread_ = kNoEvent;
   std::vector<Dep>* cur_deps_ = nullptr;
 };
 

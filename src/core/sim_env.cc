@@ -9,7 +9,10 @@ using trace::Sys;
 using vfs::VfsResult;
 
 namespace {
+// Power of two so the per-wait / per-notify stripe lookup is a mask, not a
+// division — this runs once per dependency edge and twice per action.
 constexpr size_t kStripeCount = 512;
+static_assert((kStripeCount & (kStripeCount - 1)) == 0);
 }  // namespace
 
 struct SimReplayEnv::AioOp {
@@ -25,6 +28,7 @@ SimReplayEnv::SimReplayEnv(sim::Simulation* simulation, vfs::Vfs* fs,
   for (size_t i = 0; i < kStripeCount; ++i) {
     stripes_.push_back(std::make_unique<sim::SimCondVar>(sim_));
   }
+  stripe_mask_ = static_cast<uint32_t>(kStripeCount - 1);
 }
 
 SimReplayEnv::~SimReplayEnv() = default;

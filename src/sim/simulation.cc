@@ -1,7 +1,6 @@
 #include "src/sim/simulation.h"
 
 #include <exception>
-#include <unordered_map>
 
 #include "src/util/check.h"
 
@@ -10,8 +9,13 @@ namespace {
 
 // Thrown out of blocking primitives when the Simulation is destroyed while
 // threads are still blocked (e.g., a deadlocked test); unwinds the simulated
-// thread so its host thread can be joined.
+// thread so its stack (fiber) or host thread can be reclaimed.
 struct SimShutdown {};
+
+// Owned stack for one fiber. Replay threads call through the VFS and the
+// storage stack but nothing recursion-heavy; 512 KiB leaves a wide margin
+// while keeping even a 100-fiber simulation under ~50 MB.
+constexpr size_t kFiberStackBytes = 512 * 1024;
 
 }  // namespace
 
@@ -21,19 +25,77 @@ struct ThreadState {
   SimThreadId id = kInvalidThread;
   std::string name;
   std::function<void()> body;
-  std::thread host;
   Run state = Run::kReady;
   std::vector<ThreadState*> joiners;
   Simulation* sim = nullptr;
+
+  // kThreads backend.
+  std::thread host;
+
+  // kFibers backend. The stack is allocated lazily on first schedule, so
+  // spawned-but-never-run threads cost only this record.
+  ucontext_t ctx;
+  std::unique_ptr<char[]> stack;
+  bool fiber_started = false;
 };
 
 namespace {
+
+// The simulated thread currently executing on this host thread. With the
+// fiber backend everything runs on one host thread, so the scheduler
+// updates this around every fiber switch; with the host-thread backend each
+// simulated thread sets it once from its own host thread.
 thread_local ThreadState* g_current = nullptr;
+
+// Argument hand-off into a starting fiber: makecontext's entry function
+// takes no usable pointer argument, so FiberSwitchTo parks the target here
+// immediately before the first swap into it.
+thread_local ThreadState* g_fiber_launch = nullptr;
+
 }  // namespace
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+void Simulation::FiberEntry() {
+  ThreadState* t = g_fiber_launch;
+  g_fiber_launch = nullptr;
+  t->sim->FiberMain(t);
+}
+
+void Simulation::FiberMain(ThreadState* t) {
+  bool aborted = false;
+  try {
+    t->body();
+  } catch (const SimShutdown&) {
+    aborted = true;
+  }
+  FinishThread(t, aborted);
+  // Returning ends the fiber; uc_link resumes the scheduler context.
+}
+
+SimBackend DefaultSimBackend() {
+#ifdef ARTC_SIM_DEFAULT_BACKEND_THREADS
+  return SimBackend::kThreads;
+#else
+  return SimBackend::kFibers;
+#endif
+}
+
+Simulation::Simulation(uint64_t seed, SimBackend backend)
+    : rng_(seed), backend_(backend) {}
 
 Simulation::~Simulation() {
+  if (backend_ == SimBackend::kFibers) {
+    shutdown_ = true;
+    // Resume every unfinished fiber so it throws SimShutdown out of its
+    // blocking primitive, unwinding its stack (running destructors) before
+    // the stacks are freed. Index-based: an unwinding destructor may Spawn.
+    for (size_t i = 0; i < threads_.size(); ++i) {
+      ThreadState* t = threads_[i].get();
+      if (t->fiber_started && t->state != ThreadState::Run::kDone) {
+        FiberSwitchTo(t);
+      }
+    }
+    return;
+  }
   {
     std::lock_guard<std::mutex> lk(token_mu_);
     shutdown_ = true;
@@ -56,11 +118,46 @@ SimThreadId Simulation::Spawn(std::string name, std::function<void()> body) {
   ThreadState* raw = t.get();
   threads_.push_back(std::move(t));
   ready_.push_back(raw);
-  raw->host = std::thread([this, raw] { ThreadMain(raw); });
+  if (backend_ == SimBackend::kThreads) {
+    raw->host = std::thread([this, raw] { HostThreadMain(raw); });
+  }
   return raw->id;
 }
 
-void Simulation::ThreadMain(ThreadState* t) {
+void Simulation::FinishThread(ThreadState* t, bool aborted) {
+  t->state = ThreadState::Run::kDone;
+  if (aborted) {
+    return;  // shutdown unwind: joiners are unwound separately
+  }
+  for (ThreadState* j : t->joiners) {
+    ARTC_CHECK(j->state == ThreadState::Run::kBlocked);
+    j->state = ThreadState::Run::kReady;
+    ready_.push_back(j);
+  }
+  t->joiners.clear();
+}
+
+// ---- Fiber backend ----
+
+void Simulation::FiberSwitchTo(ThreadState* t) {
+  if (!t->fiber_started) {
+    t->stack = std::make_unique<char[]>(kFiberStackBytes);
+    ARTC_CHECK(getcontext(&t->ctx) == 0);
+    t->ctx.uc_stack.ss_sp = t->stack.get();
+    t->ctx.uc_stack.ss_size = kFiberStackBytes;
+    t->ctx.uc_link = &sched_ctx_;
+    makecontext(&t->ctx, &Simulation::FiberEntry, 0);
+    t->fiber_started = true;
+    g_fiber_launch = t;
+  }
+  g_current = t;
+  ARTC_CHECK(swapcontext(&sched_ctx_, &t->ctx) == 0);
+  g_current = nullptr;
+}
+
+// ---- Host-thread backend ----
+
+void Simulation::HostThreadMain(ThreadState* t) {
   // Wait to be scheduled for the first time.
   {
     std::unique_lock<std::mutex> lk(token_mu_);
@@ -77,14 +174,8 @@ void Simulation::ThreadMain(ThreadState* t) {
   } catch (const SimShutdown&) {
     aborted = true;
   }
-  t->state = ThreadState::Run::kDone;
+  FinishThread(t, aborted);
   if (!aborted) {
-    for (ThreadState* j : t->joiners) {
-      ARTC_CHECK(j->state == ThreadState::Run::kBlocked);
-      j->state = ThreadState::Run::kReady;
-      ready_.push_back(j);
-    }
-    t->joiners.clear();
     // Hand the token back to the scheduler permanently.
     std::lock_guard<std::mutex> lk(token_mu_);
     running_ = nullptr;
@@ -92,6 +183,16 @@ void Simulation::ThreadMain(ThreadState* t) {
     token_cv_.notify_all();
   }
 }
+
+void Simulation::HostThreadSwitchTo(ThreadState* t) {
+  std::unique_lock<std::mutex> lk(token_mu_);
+  running_ = t;
+  scheduler_turn_ = false;
+  token_cv_.notify_all();
+  token_cv_.wait(lk, [&] { return scheduler_turn_; });
+}
+
+// ---- Shared scheduler ----
 
 ThreadState* Simulation::PickReady() {
   ARTC_CHECK(!ready_.empty());
@@ -107,12 +208,12 @@ ThreadState* Simulation::PickReady() {
 
 void Simulation::RunThread(ThreadState* t) {
   switches_++;
-  std::unique_lock<std::mutex> lk(token_mu_);
   t->state = ThreadState::Run::kRunning;
-  running_ = t;
-  scheduler_turn_ = false;
-  token_cv_.notify_all();
-  token_cv_.wait(lk, [&] { return scheduler_turn_; });
+  if (backend_ == SimBackend::kFibers) {
+    FiberSwitchTo(t);
+  } else {
+    HostThreadSwitchTo(t);
+  }
 }
 
 TimeNs Simulation::Run() {
@@ -128,6 +229,7 @@ TimeNs Simulation::Run() {
     PendingEvent* ev = events_.top();
     events_.pop();
     if (ev->cancelled) {
+      ReleaseEvent(ev);
       continue;
     }
     ARTC_CHECK(ev->when >= now_);
@@ -136,9 +238,11 @@ TimeNs Simulation::Run() {
       ARTC_CHECK(ev->thread->state == ThreadState::Run::kBlocked);
       ev->thread->state = ThreadState::Run::kReady;
       ready_.push_back(ev->thread);
+      ReleaseEvent(ev);
     } else if (ev->callback) {
       live_callbacks_.erase(ev->callback_id);
       auto fn = std::move(ev->callback);
+      ReleaseEvent(ev);
       fn();
     }
   }
@@ -152,6 +256,13 @@ void Simulation::YieldToScheduler(ThreadState* t, bool runnable_again) {
   } else {
     t->state = ThreadState::Run::kBlocked;
   }
+  if (backend_ == SimBackend::kFibers) {
+    ARTC_CHECK(swapcontext(&t->ctx, &sched_ctx_) == 0);
+    if (shutdown_) {
+      throw SimShutdown{};
+    }
+    return;
+  }
   std::unique_lock<std::mutex> lk(token_mu_);
   running_ = nullptr;
   scheduler_turn_ = true;
@@ -162,17 +273,34 @@ void Simulation::YieldToScheduler(ThreadState* t, bool runnable_again) {
   }
 }
 
+Simulation::PendingEvent* Simulation::AllocEvent() {
+  if (!free_events_.empty()) {
+    PendingEvent* ev = free_events_.back();
+    free_events_.pop_back();
+    return ev;
+  }
+  event_pool_.push_back(std::make_unique<PendingEvent>());
+  return event_pool_.back().get();
+}
+
+void Simulation::ReleaseEvent(PendingEvent* ev) {
+  ev->thread = nullptr;
+  ev->callback = nullptr;  // drop captured state now, not at teardown
+  ev->callback_id = 0;
+  ev->cancelled = false;
+  free_events_.push_back(ev);
+}
+
 void Simulation::Sleep(TimeNs duration) {
   ARTC_CHECK(duration >= 0);
   ThreadState* t = CurrentState();
-  auto ev = std::make_unique<PendingEvent>();
+  PendingEvent* ev = AllocEvent();
   ev->when = now_ + duration;
   ev->seq = seq_++;
   ev->thread = t;
   ev->callback_id = 0;
   ev->cancelled = false;
-  events_.push(ev.get());
-  event_pool_.push_back(std::move(ev));
+  events_.push(ev);
   YieldToScheduler(t, /*runnable_again=*/false);
 }
 
@@ -206,7 +334,7 @@ void Simulation::Join(SimThreadId tid) {
 
 uint64_t Simulation::ScheduleCallback(TimeNs when, std::function<void()> fn) {
   ARTC_CHECK(when >= now_);
-  auto ev = std::make_unique<PendingEvent>();
+  PendingEvent* ev = AllocEvent();
   ev->when = when;
   ev->seq = seq_++;
   ev->thread = nullptr;
@@ -214,9 +342,8 @@ uint64_t Simulation::ScheduleCallback(TimeNs when, std::function<void()> fn) {
   ev->callback_id = next_callback_id_++;
   ev->cancelled = false;
   uint64_t id = ev->callback_id;
-  live_callbacks_[id] = ev.get();
-  events_.push(ev.get());
-  event_pool_.push_back(std::move(ev));
+  live_callbacks_[id] = ev;
+  events_.push(ev);
   return id;
 }
 
@@ -225,12 +352,18 @@ bool Simulation::CancelCallback(uint64_t id) {
   if (it == live_callbacks_.end()) {
     return false;
   }
+  // The event stays in the queue (lazy deletion) and is recycled when
+  // popped, but the callback's captures are released immediately.
   it->second->cancelled = true;
+  it->second->callback = nullptr;
   live_callbacks_.erase(it);
   return true;
 }
 
 void Simulation::WakeThread(ThreadState* t) {
+  if (shutdown_) {
+    return;  // unwinding destructors may notify already-unwound threads
+  }
   ARTC_CHECK(t->state == ThreadState::Run::kBlocked);
   t->state = ThreadState::Run::kReady;
   ready_.push_back(t);

@@ -1,12 +1,28 @@
 // Discrete-event simulation engine with blocking-style simulated threads.
 //
 // Every performance experiment in this repository runs in virtual time on
-// this engine. A simulated thread is backed by a real std::thread, but only
-// one simulated thread executes at any instant: the scheduler hands a run
-// token to exactly one runnable thread and waits for it to yield (by
-// blocking on a simulated primitive, sleeping, or finishing). This lets
-// application models, the VFS, and the trace replayer be written in plain
-// blocking style while virtual time advances deterministically.
+// this engine. Only one simulated thread executes at any instant: the
+// scheduler transfers control to exactly one runnable thread and waits for
+// it to yield (by blocking on a simulated primitive, sleeping, or
+// finishing). This lets application models, the VFS, and the trace replayer
+// be written in plain blocking style while virtual time advances
+// deterministically.
+//
+// Two context-switch backends implement that transfer:
+//
+//  - kFibers (default): every simulated thread is a user-space stackful
+//    coroutine (ucontext) with its own owned stack, all running on the one
+//    host thread that called Run(). A simulated context switch is a
+//    `swapcontext` — a few dozen nanoseconds, no kernel involvement.
+//  - kThreads: every simulated thread is a real std::thread and the run
+//    token is handed over a mutex/condition_variable pair — two kernel
+//    wakeups per simulated switch. Kept as a differential-testing oracle
+//    for the fiber backend (and for sanitizers that cannot follow stack
+//    switching, e.g. TSan).
+//
+// Both backends share the scheduler itself (ready list, event queue, RNG),
+// so a run is bit-identical across backends: same seed, same schedule, same
+// virtual end time, same switch count.
 //
 // Determinism: a run is a pure function of (program, seed). When several
 // threads are runnable at the same virtual instant, the scheduler picks one
@@ -14,6 +30,8 @@
 // the seed explores different interleavings of the same program.
 #ifndef SRC_SIM_SIMULATION_H_
 #define SRC_SIM_SIMULATION_H_
+
+#include <ucontext.h>
 
 #include <condition_variable>
 #include <cstdint>
@@ -37,6 +55,16 @@ class Simulation;
 // Identifies a simulated thread. Dense, starting at 0.
 using SimThreadId = uint32_t;
 inline constexpr SimThreadId kInvalidThread = UINT32_MAX;
+
+// Context-switch backend for a Simulation instance.
+enum class SimBackend : uint8_t {
+  kFibers,   // user-space stackful coroutines (one host thread total)
+  kThreads,  // one host OS thread per simulated thread, condvar token
+};
+
+// The build-selected default backend (CMake option ARTC_SIM_BACKEND,
+// "fibers" unless configured otherwise).
+SimBackend DefaultSimBackend();
 
 // Internal per-thread record. Exposed only so SimCondVar can hold pointers.
 struct ThreadState;
@@ -80,13 +108,16 @@ class SimMutex {
 
 class Simulation {
  public:
-  explicit Simulation(uint64_t seed);
+  explicit Simulation(uint64_t seed, SimBackend backend = DefaultSimBackend());
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   // Current virtual time. Callable from simulated threads and callbacks.
   TimeNs Now() const { return now_; }
+
+  // Backend this instance was constructed with.
+  SimBackend backend() const { return backend_; }
 
   // Creates a simulated thread. May be called before Run() or from within a
   // running simulated thread. The new thread becomes runnable at the current
@@ -132,6 +163,11 @@ class Simulation {
   // Total context switches performed (diagnostics).
   uint64_t switch_count() const { return switches_; }
 
+  // Number of PendingEvent records ever allocated (diagnostics). Completed
+  // and cancelled events are recycled, so this tracks the maximum number of
+  // *simultaneously outstanding* events, not the total scheduled.
+  size_t allocated_event_count() const { return event_pool_.size(); }
+
   // Number of simulated threads that have not run to completion. Nonzero
   // after Run() indicates a deadlock in the simulated program.
   size_t UnfinishedThreads() const;
@@ -159,13 +195,26 @@ class Simulation {
     }
   };
 
-  void RunThread(ThreadState* t);       // scheduler: transfer token to t
+  PendingEvent* AllocEvent();           // from the free list, or fresh
+  void ReleaseEvent(PendingEvent* ev);  // recycle a fired/cancelled event
+
+  void RunThread(ThreadState* t);       // scheduler: transfer control to t
   void YieldToScheduler(ThreadState* t, bool runnable_again);
-  void ThreadMain(ThreadState* t);      // host-thread trampoline
+  void FinishThread(ThreadState* t, bool aborted);  // body returned/unwound
   ThreadState* PickReady();
+
+  // Fiber backend.
+  static void FiberEntry();             // makecontext entry point
+  void FiberSwitchTo(ThreadState* t);   // scheduler/destructor -> fiber
+  void FiberMain(ThreadState* t);       // fiber trampoline body
+
+  // Host-thread backend.
+  void HostThreadMain(ThreadState* t);  // host-thread trampoline
+  void HostThreadSwitchTo(ThreadState* t);
 
   TimeNs now_ = 0;
   Rng rng_;
+  SimBackend backend_;
   uint64_t seq_ = 0;
   uint64_t switches_ = 0;
   uint64_t next_callback_id_ = 1;
@@ -173,10 +222,18 @@ class Simulation {
   std::vector<std::unique_ptr<ThreadState>> threads_;
   std::vector<ThreadState*> ready_;
   std::priority_queue<PendingEvent*, std::vector<PendingEvent*>, EventCompare> events_;
+  // Owns every PendingEvent ever allocated; bounded by the maximum number of
+  // events simultaneously outstanding (completed ones are recycled through
+  // free_events_, so a long run does not grow this without bound).
   std::deque<std::unique_ptr<PendingEvent>> event_pool_;
+  std::vector<PendingEvent*> free_events_;
   std::unordered_map<uint64_t, PendingEvent*> live_callbacks_;
 
-  // Host-level synchronization implementing the run token.
+  // Fiber backend: the scheduler's own context; fibers resume it when they
+  // yield or finish (also the uc_link of every fiber).
+  ucontext_t sched_ctx_;
+
+  // Host-thread backend: synchronization implementing the run token.
   std::mutex token_mu_;
   std::condition_variable token_cv_;
   ThreadState* running_ = nullptr;   // simulated thread holding the token

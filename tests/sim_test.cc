@@ -206,6 +206,31 @@ TEST(Simulation, ManyThreadsStress) {
   EXPECT_EQ(sim.Now(), Us(100) * kIters);
 }
 
+TEST(Simulation, EventRecordsAreRecycled) {
+  // A long-running simulation must not accumulate one allocation per
+  // Sleep/ScheduleCallback: completed and cancelled events are recycled.
+  Simulation sim(1);
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn("sleeper", [&] {
+      for (int j = 0; j < 1000; ++j) {
+        sim.Sleep(Us(10));
+      }
+    });
+  }
+  sim.Spawn("scheduler", [&] {
+    for (int j = 0; j < 1000; ++j) {
+      sim.ScheduleCallback(sim.Now() + Us(5), [] {});
+      uint64_t id = sim.ScheduleCallback(sim.Now() + Us(50), [] {});
+      sim.CancelCallback(id);
+      sim.Sleep(Us(10));
+    }
+  });
+  sim.Run();
+  // 12k events were scheduled but at most a handful are ever outstanding.
+  EXPECT_LE(sim.allocated_event_count(), 32u);
+  EXPECT_EQ(sim.UnfinishedThreads(), 0u);
+}
+
 TEST(Simulation, DestructorReleasesBlockedThreads) {
   // A deadlocked program must not hang the test process.
   auto sim = std::make_unique<Simulation>(1);
