@@ -1,0 +1,149 @@
+// Compile-pipeline throughput harness: times each stage of turning a raw
+// trace into a replayable benchmark — text parse, resource annotation, and
+// full compile (annotate + dep emission + pruning) — on a large synthetic
+// multithreaded trace, in host time. Prints a single JSON object so
+// successive PRs can track the perf trajectory.
+//
+// Usage:
+//   bench_compile_throughput [--threads=N] [--reads=N] [--repeat=N]
+//
+// Defaults produce a ~100k-action, 16-thread trace. Stage timings are the
+// minimum over --repeat runs (minimum, not mean: we are measuring the code,
+// not the machine's background noise).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "src/core/compiler.h"
+#include "src/fsmodel/resource_model.h"
+#include "src/trace/trace_io.h"
+#include "src/workloads/micro.h"
+#include "src/workloads/workload.h"
+
+namespace artc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(
+             Clock::now() - start)
+      .count();
+}
+
+uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+int Main(int argc, char** argv) {
+  const uint32_t threads = static_cast<uint32_t>(FlagValue(argc, argv, "threads", 16));
+  const uint32_t reads = static_cast<uint32_t>(FlagValue(argc, argv, "reads", 6500));
+  const int repeat = static_cast<int>(FlagValue(argc, argv, "repeat", 3));
+
+  workloads::RandomReaders::Options opt;
+  opt.threads = threads;
+  opt.reads_per_thread = reads;
+  workloads::RandomReaders workload(opt);
+  workloads::TracedRun traced = workloads::TraceWorkload(workload, {});
+
+  // Round-trip through the text format so the parse stage measures the real
+  // production entry point, not an in-memory shortcut.
+  std::ostringstream text;
+  trace::WriteTrace(traced.trace, text);
+  const std::string trace_text = text.str();
+
+  double parse_ns = 0, annotate_ns = 0, compile_ns = 0, compile_unpruned_ns = 0;
+  trace::Trace parsed;
+  core::CompiledBenchmark bench;
+  core::CompiledBenchmark unpruned;
+  for (int i = 0; i < repeat; ++i) {
+    {
+      std::istringstream in(trace_text);
+      auto t0 = Clock::now();
+      parsed = trace::ReadTrace(in);
+      double ns = ElapsedNs(t0);
+      parse_ns = i == 0 ? ns : std::min(parse_ns, ns);
+    }
+    // Annotate once per iteration; the compile stage consumes this
+    // annotation (the production pipeline shape — compiling does not
+    // re-annotate).
+    fsmodel::AnnotatedTrace ann;
+    {
+      auto t0 = Clock::now();
+      fsmodel::AnnotateOptions aopt;
+      aopt.materialize_labels = false;
+      ann = fsmodel::AnnotateTrace(parsed, traced.snapshot, aopt);
+      double ns = ElapsedNs(t0);
+      annotate_ns = i == 0 ? ns : std::min(annotate_ns, ns);
+      if (ann.warnings > 0) {
+        std::fprintf(stderr, "unexpected model warnings: %llu\n",
+                     static_cast<unsigned long long>(ann.warnings));
+        return 1;
+      }
+    }
+    {
+      // Untimed copy: the timed compile below consumes its trace, exactly
+      // like the parse -> compile pipeline does, and the unpruned compile
+      // needs its own.
+      trace::Trace scratch = parsed;
+      auto t0 = Clock::now();
+      bench = core::Compile(std::move(scratch), traced.snapshot, ann, {});
+      double ns = ElapsedNs(t0);
+      compile_ns = i == 0 ? ns : std::min(compile_ns, ns);
+    }
+    {
+      core::CompileOptions copt;
+      copt.prune_redundant_deps = false;
+      auto t0 = Clock::now();
+      unpruned = core::Compile(std::move(parsed), traced.snapshot, ann, copt);
+      double ns = ElapsedNs(t0);
+      compile_unpruned_ns = i == 0 ? ns : std::min(compile_unpruned_ns, ns);
+    }
+  }
+
+  const size_t actions = bench.actions.size();
+  const double compile_secs = compile_ns / 1e9;
+  std::printf("{\n");
+  std::printf("  \"workload\": \"%s\",\n", traced.workload_name.c_str());
+  std::printf("  \"actions\": %zu,\n", actions);
+  std::printf("  \"replay_threads\": %zu,\n", bench.thread_actions.size());
+  std::printf("  \"repeat\": %d,\n", repeat);
+  std::printf("  \"parse_ns\": %.0f,\n", parse_ns);
+  std::printf("  \"annotate_ns\": %.0f,\n", annotate_ns);
+  std::printf("  \"compile_ns\": %.0f,\n", compile_ns);
+  std::printf("  \"compile_unpruned_ns\": %.0f,\n", compile_unpruned_ns);
+  std::printf("  \"compile_actions_per_sec\": %.0f,\n",
+              compile_secs > 0 ? static_cast<double>(actions) / compile_secs : 0.0);
+  std::printf("  \"edges_emitted\": %llu,\n",
+              static_cast<unsigned long long>(unpruned.dep_arena.size()));
+  std::printf("  \"edges_after_pruning\": %llu,\n",
+              static_cast<unsigned long long>(bench.dep_arena.size()));
+  std::printf("  \"edges_pruned\": %llu,\n",
+              static_cast<unsigned long long>(bench.edge_stats.TotalPruned()));
+  std::printf("  \"dep_arena_peak_bytes\": %llu\n",
+              static_cast<unsigned long long>(bench.dep_arena_peak_bytes));
+  std::printf("}\n");
+
+  // Sanity: pruning must only ever remove edges, never add or reorder.
+  if (bench.dep_arena.size() + bench.edge_stats.TotalPruned() !=
+      unpruned.dep_arena.size()) {
+    std::fprintf(stderr, "pruned + kept != emitted\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace artc::bench
+
+int main(int argc, char** argv) { return artc::bench::Main(argc, argv); }

@@ -46,10 +46,10 @@ int main() {
   std::printf("compiled: %zu actions, %u fd slots, %llu dependency edges\n",
               bench.actions.size(), bench.fd_slot_count,
               static_cast<unsigned long long>(bench.edge_stats.TotalEdges()));
-  for (const artc::core::CompiledAction& a : bench.actions) {
-    std::printf("  [%llu] %-8s deps={", static_cast<unsigned long long>(a.ev.index),
-                std::string(artc::trace::SysName(a.ev.call)).c_str());
-    for (const artc::core::Dep& d : a.deps) {
+  for (uint32_t i = 0; i < bench.actions.size(); ++i) {
+    std::printf("  [%u] %-8s deps={", i,
+                std::string(artc::trace::SysName(bench.events[i].call)).c_str());
+    for (const artc::core::Dep& d : bench.DepsFor(i)) {
       std::printf(" %u", d.event);
     }
     std::printf(" }\n");

@@ -29,8 +29,22 @@ struct Dep {
   RuleTag rule;     // which ordering rule produced this edge (stats)
 };
 
+// A view over one action's dependencies inside the shared dep arena.
+struct DepSpan {
+  const Dep* first = nullptr;
+  const Dep* last = nullptr;
+  const Dep* begin() const { return first; }
+  const Dep* end() const { return last; }
+  size_t size() const { return static_cast<size_t>(last - first); }
+  bool empty() const { return first == last; }
+  const Dep& operator[](size_t i) const { return first[i]; }
+};
+
+// Per-action replay metadata. The original trace event (arguments +
+// expected outcome) lives in CompiledBenchmark::events at the same index:
+// keeping the strings out of this struct makes it a small POD the replay
+// hot loop can walk without dragging argument data through the cache.
 struct CompiledAction {
-  trace::TraceEvent ev;        // original event: args + expected outcome
   uint32_t thread_index = 0;   // dense replay-thread index
   // File-descriptor remapping (Sec. 4.2: fd names are remapped through a
   // table so generations that reused a number can coexist): slot to *read*
@@ -43,13 +57,18 @@ struct CompiledAction {
   // Time between this action's issue and the return of the previous action
   // on the same thread in the original trace — the paper's "predelay".
   TimeNs predelay = 0;
-  std::vector<Dep> deps;
 };
 
 struct EdgeStats {
+  // Edges emitted by each rule, *before* redundant-edge pruning — this is
+  // what the paper's Fig. 8 tables report.
   std::array<uint64_t, static_cast<size_t>(RuleTag::kCount)> count_by_rule{};
   std::array<double, static_cast<size_t>(RuleTag::kCount)> total_length_ns{};
+  // Of the above, edges dropped as transitively implied (never materialized
+  // in the dep arena the replayer walks).
+  std::array<uint64_t, static_cast<size_t>(RuleTag::kCount)> pruned_by_rule{};
   uint64_t TotalEdges() const;
+  uint64_t TotalPruned() const;
   double MeanLengthNs() const;  // across all rules
 };
 
@@ -57,6 +76,10 @@ struct CompiledBenchmark {
   ReplayMethod method = ReplayMethod::kArtc;
   ReplayModes modes;
   std::vector<CompiledAction> actions;          // indexed by trace order
+  // events[i] is actions[i]'s original trace event. The compiler moving an
+  // rvalue trace in steals this vector wholesale instead of copying ~200
+  // bytes per event.
+  std::vector<trace::TraceEvent> events;
   std::vector<std::vector<uint32_t>> thread_actions;  // per replay thread
   std::vector<uint32_t> thread_ids;             // original tid per replay thread
   uint32_t fd_slot_count = 0;
@@ -64,6 +87,19 @@ struct CompiledBenchmark {
   trace::FsSnapshot snapshot;
   EdgeStats edge_stats;
   uint64_t model_warnings = 0;
+
+  // Dependencies in compressed-sparse-row form: the deps of action i are
+  // dep_arena[dep_offsets[i] .. dep_offsets[i+1]). One contiguous arena
+  // instead of a heap vector per action keeps the replay hot loop walking
+  // sequential memory.
+  std::vector<Dep> dep_arena;
+  std::vector<uint32_t> dep_offsets;  // size() + 1 entries; empty when size()==0
+  uint64_t dep_arena_peak_bytes = 0;  // arena high-water mark during compile
+
+  DepSpan DepsFor(uint32_t action) const {
+    const Dep* base = dep_arena.data();
+    return DepSpan{base + dep_offsets[action], base + dep_offsets[action + 1]};
+  }
 
   size_t size() const { return actions.size(); }
 };

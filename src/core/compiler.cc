@@ -29,71 +29,110 @@ struct Cursor {
   bool touched = false;
 };
 
+// Builds the dependency CSR arena in one streaming pass: deps of the
+// current event accumulate (sorted, deduped) in a small reusable scratch
+// vector, then flush to the shared arena when the event finishes.
 class DepBuilder {
  public:
-  DepBuilder(const trace::Trace& t, const AnnotatedTrace& annotated,
-             CompiledBenchmark* out)
-      : trace_(t), ann_(annotated), out_(out) {
+  DepBuilder(const AnnotatedTrace& annotated, CompiledBenchmark* out)
+      : ann_(annotated), out_(out) {
     cursors_.resize(ann_.resources.size());
+    out_->dep_arena.clear();
+    out_->dep_offsets.assign(out_->events.size() + 1, 0);
   }
 
-  void EmitArtcDeps(const ReplayModes& modes) {
-    for (const trace::TraceEvent& ev : trace_.events) {
-      cur_event_ = ev.index;
-      cur_deps_ = &out_->actions[ev.index].deps;
-      for (const fsmodel::Touch& touch : ann_.touches[ev.index]) {
-        const fsmodel::ResourceInfo& res = ann_.resources[touch.resource];
-        Cursor& c = cursors_[touch.resource];
-        switch (res.kind) {
-          case ResourceKind::kFile:
-            if (modes.file_seq) {
-              Sequential(c, RuleTag::kFileSeq);
-            }
-            break;
-          case ResourceKind::kPath:
-            if (modes.path_stage_name) {
-              NameOrdering(res, c);
-              Stage(c, touch.access, RuleTag::kPathStage);
-            }
-            break;
-          case ResourceKind::kFd:
-            if (modes.fd_seq) {
-              Sequential(c, RuleTag::kFdSeq);
-            } else if (modes.fd_stage) {
-              Stage(c, touch.access, RuleTag::kFdStage);
-            }
-            break;
-          case ResourceKind::kAiocb:
-            if (modes.aio_stage) {
-              Stage(c, touch.access, RuleTag::kAioStage);
-            }
-            break;
-          case ResourceKind::kThread:
-            // Structural (each replay thread plays its actions in order);
-            // counted for edge statistics without materialising a dep.
-            if (c.touched && c.last_event != kNoEvent) {
-              CountEdge(RuleTag::kThreadSeq, c.last_event);
-            }
-            break;
-          case ResourceKind::kProgram:
-            break;
+  // Per-event ARTC emission, driven from the compiler's single streaming
+  // pass over the trace (the same loop that fills actions and wires remap
+  // slots): BeginEvent, then ArtcTouch per annotation touch, then
+  // FinishEvent.
+  void ArtcTouch(const fsmodel::Touch& touch, const ReplayModes& modes) {
+    const fsmodel::ResourceInfo& res = ann_.resources[touch.resource];
+    Cursor& c = cursors_[touch.resource];
+    switch (res.kind) {
+      case ResourceKind::kFile:
+        if (modes.file_seq) {
+          Sequential(c, RuleTag::kFileSeq);
         }
-        Update(c, touch.access);
-      }
-      FinishEvent();
+        break;
+      case ResourceKind::kPath:
+        if (modes.path_stage_name) {
+          NameOrdering(res, c);
+          Stage(c, touch.access, RuleTag::kPathStage);
+        }
+        break;
+      case ResourceKind::kFd:
+        if (modes.fd_seq) {
+          Sequential(c, RuleTag::kFdSeq);
+        } else if (modes.fd_stage) {
+          Stage(c, touch.access, RuleTag::kFdStage);
+        }
+        break;
+      case ResourceKind::kAiocb:
+        if (modes.aio_stage) {
+          Stage(c, touch.access, RuleTag::kAioStage);
+        }
+        break;
+      case ResourceKind::kThread:
+        // Structural (each replay thread plays its actions in order);
+        // counted for edge statistics without materialising a dep.
+        if (c.touched && c.last_event != kNoEvent) {
+          CountEdge(RuleTag::kThreadSeq, c.last_event);
+        }
+        break;
+      case ResourceKind::kProgram:
+        break;
     }
+    Update(c, touch.access);
   }
 
   void EmitTemporalDeps() {
-    for (const trace::TraceEvent& ev : trace_.events) {
-      cur_event_ = ev.index;
-      cur_deps_ = &out_->actions[ev.index].deps;
-      if (ev.index > 0) {
-        uint32_t prev = static_cast<uint32_t>(ev.index - 1);
-        AddDep(prev, DepKind::kIssue, RuleTag::kTemporal);
+    // Issue ordering alone does not guarantee that the open defining a
+    // cross-thread descriptor has *completed* (and therefore filled the
+    // remap slot) before a use on another thread executes. Fold in the
+    // minimal infrastructure deps so the temporal baseline is runnable, as
+    // in the paper. These are not counted as ordering edges. Each fd/aio
+    // slot is one generation, so it has exactly one defining event —
+    // precompute them so emission stays a single forward pass.
+    std::vector<uint32_t> fd_def(out_->fd_slot_count, kNoEvent);
+    std::vector<uint32_t> aio_def(out_->aio_slot_count, kNoEvent);
+    for (uint32_t i = 0; i < out_->actions.size(); ++i) {
+      const CompiledAction& a = out_->actions[i];
+      if (a.fd_def_slot >= 0) {
+        fd_def[static_cast<size_t>(a.fd_def_slot)] = i;
+      }
+      if (a.aio_def_slot >= 0) {
+        aio_def[static_cast<size_t>(a.aio_def_slot)] = i;
+      }
+    }
+    for (uint32_t i = 0; i < out_->events.size(); ++i) {
+      BeginEvent(i);
+      if (i > 0) {
+        AddDep(i - 1, DepKind::kIssue, RuleTag::kTemporal);
+      }
+      const CompiledAction& a = out_->actions[i];
+      if (a.fd_use_slot >= 0) {
+        AddInfraDep(fd_def[static_cast<size_t>(a.fd_use_slot)]);
+      }
+      if (a.aio_use_slot >= 0) {
+        AddInfraDep(aio_def[static_cast<size_t>(a.aio_use_slot)]);
       }
       FinishEvent();
     }
+  }
+
+  void BeginEvent(uint32_t index) {
+    cur_event_ = index;
+    scratch_.clear();
+    // Each touch yields at most one dep plus the create edge; a little
+    // headroom avoids regrowth on delete events with many outstanding uses.
+    scratch_.reserve(ann_.touches.empty() ? 4 : ann_.touches[index].size() + 2);
+  }
+
+  void FinishEvent() {
+    // Scratch is already sorted by event; flush it to the arena.
+    std::vector<Dep>& arena = out_->dep_arena;
+    arena.insert(arena.end(), scratch_.begin(), scratch_.end());
+    out_->dep_offsets[cur_event_ + 1] = static_cast<uint32_t>(arena.size());
   }
 
  private:
@@ -171,6 +210,13 @@ class DepBuilder {
     return out_->actions[event].thread_index;
   }
 
+  // Finds the sorted insertion point for `dep_event` in the scratch list.
+  std::vector<Dep>::iterator LowerBound(uint32_t dep_event) {
+    return std::lower_bound(
+        scratch_.begin(), scratch_.end(), dep_event,
+        [](const Dep& d, uint32_t e) { return d.event < e; });
+  }
+
   void AddDep(uint32_t dep_event, DepKind kind, RuleTag rule) {
     ARTC_CHECK(dep_event < cur_event_);
     // A completion-dep on an earlier action of the same replay thread is
@@ -180,47 +226,160 @@ class DepBuilder {
         ThreadOf(dep_event) == ThreadOf(cur_event_)) {
       return;
     }
-    // Dedup within the event; keep the stronger kind on collision.
-    for (Dep& d : *cur_deps_) {
-      if (d.event == dep_event) {
-        if (kind == DepKind::kCompletion && d.kind == DepKind::kIssue) {
-          d.kind = kind;
-        }
-        return;
+    // Scratch stays sorted by event, so dedup is an insertion-point check
+    // instead of a scan over every dep added so far. Keep the stronger
+    // kind on collision.
+    auto it = LowerBound(dep_event);
+    if (it != scratch_.end() && it->event == dep_event) {
+      if (kind == DepKind::kCompletion && it->kind == DepKind::kIssue) {
+        it->kind = kind;
       }
+      return;
     }
-    cur_deps_->push_back({dep_event, kind, rule});
+    scratch_.insert(it, {dep_event, kind, rule});
     CountEdge(rule, dep_event);
+  }
+
+  // Replayability infrastructure dep (temporal method): the defining event
+  // of a used fd/aio slot must have completed. Not counted in edge stats.
+  void AddInfraDep(uint32_t def_event) {
+    if (def_event == kNoEvent || def_event >= cur_event_ ||
+        ThreadOf(def_event) == ThreadOf(cur_event_)) {
+      return;
+    }
+    auto it = LowerBound(def_event);
+    if (it != scratch_.end() && it->event == def_event) {
+      it->kind = DepKind::kCompletion;
+      return;
+    }
+    scratch_.insert(it, {def_event, DepKind::kCompletion, RuleTag::kTemporal});
   }
 
   void CountEdge(RuleTag rule, uint32_t dep_event) {
     size_t idx = static_cast<size_t>(rule);
     out_->edge_stats.count_by_rule[idx]++;
     // Edge length: time between the two actions in the original trace.
-    TimeNs len = trace_.events[cur_event_].enter - trace_.events[dep_event].enter;
+    TimeNs len = out_->events[cur_event_].enter - out_->events[dep_event].enter;
     out_->edge_stats.total_length_ns[idx] += static_cast<double>(len);
   }
 
-  void FinishEvent() {
-    // Same-thread structural deps were already skipped in AddDep; all that
-    // remains is ordering the dep list for deterministic output.
-    std::sort(cur_deps_->begin(), cur_deps_->end(),
-              [](const Dep& a, const Dep& b) { return a.event < b.event; });
-  }
-
-  const trace::Trace& trace_;
   const AnnotatedTrace& ann_;
   CompiledBenchmark* out_;
   std::vector<Cursor> cursors_;
   uint32_t cur_event_ = 0;
-  std::vector<Dep>* cur_deps_ = nullptr;
+  std::vector<Dep> scratch_;  // current event's deps, sorted by event
 };
+
+// Drops completion edges that can never be the edge an action blocks on.
+//
+// For event k with same-thread predecessor p, the replayer starts checking
+// k's deps only after p has completed. So if dep d is guaranteed complete
+// before p completes — in *every* schedule, by thread order and the
+// remaining completion edges — then k's check of d is always a no-op read,
+// and removing the edge leaves replay behaviour (and simulated timestamps
+// under a fixed seed) bit-identical. Edges implied only by *sibling* deps
+// of k are NOT safe to drop: k might reach d's wait before the sibling has
+// completed, so the edge can be the one that blocks.
+//
+// The pass keeps one completion vector clock per event: clock[i][t] is
+// (index + 1) of the latest event on thread t known complete whenever i is
+// complete. A forward scan computes it as the predecessor's clock merged
+// with the clocks of i's completion deps plus i itself, pruning each dep
+// already covered by the predecessor's clock. Every pruned edge is in the
+// transitive closure of the kept edges plus thread order (inductively), so
+// the closure is unchanged.
+void PruneRedundantDeps(CompiledBenchmark* bench) {
+  const size_t n = bench->actions.size();
+  const size_t threads = bench->thread_ids.size();
+  if (n == 0 || threads == 0 || bench->dep_arena.empty()) {
+    return;
+  }
+  // Clock rows are stored sparsely: an event's cross-thread clock differs
+  // from its same-thread predecessor's only if the event has completion
+  // deps to merge, and on real traces the vast majority of events have
+  // none. So a new row materialises only at those "merge" events; every
+  // other event shares its thread's latest row (row 0 is the all-zeros
+  // row). An event's own-thread entry is implicitly (index + 1) — readers
+  // below account for it explicitly — which is why sharing the row with
+  // later events on the thread is sound. Worst case (every event has a
+  // completion dep) this still costs n*threads entries, like the dense
+  // matrix; typically it is a few hundred rows.
+  std::vector<uint32_t> rows(threads, 0);   // row arena, `threads` per row
+  std::vector<uint32_t> row_of(n, 0);       // event -> its clock row id
+  std::vector<uint32_t> cur_row(threads, 0);  // thread -> latest row id
+  std::vector<Dep>& arena = bench->dep_arena;
+  std::vector<uint32_t>& offsets = bench->dep_offsets;
+  uint32_t write = 0;  // in-place arena compaction cursor
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t ti = bench->actions[i].thread_index;
+    const uint32_t begin = offsets[i];
+    const uint32_t end = offsets[i + 1];
+    offsets[i] = write;  // write <= begin, so reads below stay valid
+    bool merges = false;
+    for (uint32_t j = begin; j < end && !merges; ++j) {
+      merges = arena[j].kind == DepKind::kCompletion;
+    }
+    if (!merges) {
+      // Issue deps are never pruned (only completion deps can be implied)
+      // and don't advance the completion clock: keep them and move on.
+      row_of[i] = cur_row[ti];
+      for (uint32_t j = begin; j < end; ++j) {
+        arena[write++] = arena[j];
+      }
+      continue;
+    }
+    const uint32_t nr_id = static_cast<uint32_t>(rows.size() / threads);
+    rows.resize(rows.size() + threads);  // may reallocate: take pointers after
+    uint32_t* nr = rows.data() + static_cast<size_t>(nr_id) * threads;
+    // cur_row[ti] is the clock of i's same-thread predecessor p: cross-
+    // thread entries only change at merge events, and the latest one on ti
+    // is at or before p. If i is the first event on ti this is row 0 (all
+    // zeros), which correctly implies nothing.
+    const uint32_t* pr = rows.data() + static_cast<size_t>(cur_row[ti]) * threads;
+    std::copy(pr, pr + threads, nr);
+    for (uint32_t j = begin; j < end; ++j) {
+      const Dep d = arena[j];
+      if (d.kind != DepKind::kCompletion) {
+        arena[write++] = d;
+        continue;
+      }
+      // Materialised completion deps are always cross-thread (same-thread
+      // ones are skipped at emission), so td != ti here.
+      const uint32_t td = bench->actions[d.event].thread_index;
+      if (pr[td] >= d.event + 1) {
+        bench->edge_stats.pruned_by_rule[static_cast<size_t>(d.rule)]++;
+      } else {
+        arena[write++] = d;
+      }
+      // Whether kept or implied, d is complete before i issues: merge its
+      // completion clock (row entries plus its implicit own entry).
+      const uint32_t* dr =
+          rows.data() + static_cast<size_t>(row_of[d.event]) * threads;
+      for (size_t t = 0; t < threads; ++t) {
+        nr[t] = std::max(nr[t], dr[t]);
+      }
+      nr[td] = std::max(nr[td], d.event + 1);
+    }
+    cur_row[ti] = nr_id;
+    row_of[i] = nr_id;
+  }
+  offsets[n] = write;
+  arena.resize(write);
+}
 
 }  // namespace
 
 uint64_t EdgeStats::TotalEdges() const {
   uint64_t n = 0;
   for (uint64_t c : count_by_rule) {
+    n += c;
+  }
+  return n;
+}
+
+uint64_t EdgeStats::TotalPruned() const {
+  uint64_t n = 0;
+  for (uint64_t c : pruned_by_rule) {
     n += c;
   }
   return n;
@@ -236,19 +395,25 @@ double EdgeStats::MeanLengthNs() const {
   return n == 0 ? 0.0 : total / static_cast<double>(n);
 }
 
-CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapshot,
-                          const CompileOptions& options) {
+// Shared implementation: takes the event vector by value so the public
+// overloads decide whether it is copied (lvalue trace) or stolen (rvalue
+// trace) — the move path makes event transfer O(1).
+static CompiledBenchmark CompileImpl(std::vector<trace::TraceEvent> events,
+                              const trace::FsSnapshot& snapshot,
+                              const fsmodel::AnnotatedTrace& ann,
+                              const CompileOptions& options) {
+  ARTC_CHECK(ann.touches.size() == events.size());
   CompiledBenchmark bench;
   bench.method = options.method;
   bench.modes = options.modes;
   bench.snapshot = snapshot;
-
-  fsmodel::AnnotatedTrace ann = fsmodel::AnnotateTrace(t, snapshot);
+  bench.events = std::move(events);
   bench.model_warnings = ann.warnings;
 
-  // Assign fd/aio remap slots: one per generation resource.
-  std::unordered_map<uint32_t, int32_t> fd_slots;
-  std::unordered_map<uint32_t, int32_t> aio_slots;
+  // Assign fd/aio remap slots: one per generation resource. Resource ids
+  // are dense, so a flat vector beats a hash map here.
+  std::vector<int32_t> fd_slots(ann.resources.size(), -1);
+  std::vector<int32_t> aio_slots(ann.resources.size(), -1);
   for (uint32_t r = 0; r < ann.resources.size(); ++r) {
     if (ann.resources[r].kind == fsmodel::ResourceKind::kFd) {
       fd_slots[r] = static_cast<int32_t>(bench.fd_slot_count++);
@@ -257,44 +422,65 @@ CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapsh
     }
   }
 
-  // Dense replay threads.
-  std::unordered_map<uint32_t, uint32_t> thread_index;
+  // Dense replay threads. Trace tids are small integers in practice, so a
+  // flat tid -> index+1 table covers the common case; anything above the
+  // flat range falls back to the hash map.
+  constexpr uint32_t kFlatTidLimit = 1 << 16;
+  std::vector<uint32_t> tid_flat;
+  std::unordered_map<uint32_t, uint32_t> tid_overflow;
   bool single = options.method == ReplayMethod::kSingleThreaded;
   if (single) {
     bench.thread_ids.push_back(0);
     bench.thread_actions.emplace_back();
   }
 
-  bench.actions.resize(t.events.size());
+  // Single streaming pass: fill the action (dense thread, predelay), wire
+  // remap slots, and — for ARTC — emit this event's dependency edges, all
+  // while the event's touches are hot in cache.
+  const bool fuse_artc = options.method == ReplayMethod::kArtc;
+  const uint32_t n = static_cast<uint32_t>(bench.events.size());
+  DepBuilder builder(ann, &bench);
+  bench.actions.reserve(n);
   std::vector<TimeNs> last_ret_by_thread;
-  TimeNs trace_start = t.events.empty() ? 0 : t.events.front().enter;
-  for (const trace::TraceEvent& ev : t.events) {
-    CompiledAction& a = bench.actions[ev.index];
-    a.ev = ev;
+  TimeNs trace_start = bench.events.empty() ? 0 : bench.events.front().enter;
+  for (uint32_t i = 0; i < n; ++i) {
+    const trace::TraceEvent& ev = bench.events[i];
+    CompiledAction& a = bench.actions.emplace_back();
     uint32_t ti;
     if (single) {
       ti = 0;
     } else {
-      auto it = thread_index.find(ev.tid);
-      if (it == thread_index.end()) {
+      uint32_t* slot = nullptr;
+      if (ev.tid < kFlatTidLimit) {
+        if (tid_flat.size() <= ev.tid) {
+          tid_flat.resize(ev.tid + 1, 0);
+        }
+        slot = &tid_flat[ev.tid];
+      } else {
+        slot = &tid_overflow[ev.tid];
+      }
+      if (*slot == 0) {
         ti = static_cast<uint32_t>(bench.thread_ids.size());
-        thread_index[ev.tid] = ti;
+        *slot = ti + 1;
         bench.thread_ids.push_back(ev.tid);
         bench.thread_actions.emplace_back();
       } else {
-        ti = it->second;
+        ti = *slot - 1;
       }
     }
     a.thread_index = ti;
-    bench.thread_actions[ti].push_back(static_cast<uint32_t>(ev.index));
+    bench.thread_actions[ti].push_back(i);
     if (last_ret_by_thread.size() <= ti) {
       last_ret_by_thread.resize(ti + 1, trace_start);
     }
     a.predelay = std::max<TimeNs>(0, ev.enter - last_ret_by_thread[ti]);
     last_ret_by_thread[ti] = ev.ret_time;
 
-    // Slot wiring from the annotation.
-    for (const fsmodel::Touch& touch : ann.touches[ev.index]) {
+    // Slot wiring from the annotation, fused with ARTC dep emission.
+    if (fuse_artc) {
+      builder.BeginEvent(i);
+    }
+    for (const fsmodel::Touch& touch : ann.touches[i]) {
       const fsmodel::ResourceInfo& res = ann.resources[touch.resource];
       if (res.kind == fsmodel::ResourceKind::kFd) {
         if (touch.access == fsmodel::Access::kCreate) {
@@ -309,77 +495,77 @@ CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapsh
           a.aio_use_slot = aio_slots[touch.resource];
         }
       }
+      if (fuse_artc) {
+        builder.ArtcTouch(touch, options.modes);
+      }
+    }
+    if (fuse_artc) {
+      builder.FinishEvent();
     }
   }
 
-  DepBuilder builder(t, ann, &bench);
-  switch (options.method) {
-    case ReplayMethod::kArtc:
-      builder.EmitArtcDeps(options.modes);
-      break;
-    case ReplayMethod::kTemporal:
-      builder.EmitTemporalDeps();
-      break;
-    case ReplayMethod::kSingleThreaded:
-    case ReplayMethod::kUnconstrained:
-      break;  // structural only
-  }
-
+  // Temporal needs the fd/aio def events, i.e. a completed slot wiring
+  // pass, so it cannot fuse; it runs as a second pass over the trace.
   if (options.method == ReplayMethod::kTemporal) {
-    // Issue ordering alone does not guarantee that the open defining a
-    // cross-thread descriptor has *completed* (and therefore filled the
-    // remap slot) before a use on another thread executes. Add the minimal
-    // infrastructure deps so the temporal baseline is runnable, as in the
-    // paper (its temporal failure counts match ARTC's). These are not
-    // counted as ordering edges.
-    std::vector<uint32_t> fd_def_event(bench.fd_slot_count, kNoEvent);
-    std::vector<uint32_t> aio_def_event(bench.aio_slot_count, kNoEvent);
-    for (const CompiledAction& a : bench.actions) {
-      if (a.fd_def_slot >= 0) {
-        fd_def_event[static_cast<size_t>(a.fd_def_slot)] = static_cast<uint32_t>(a.ev.index);
-      }
-      if (a.aio_def_slot >= 0) {
-        aio_def_event[static_cast<size_t>(a.aio_def_slot)] =
-            static_cast<uint32_t>(a.ev.index);
-      }
-    }
-    for (CompiledAction& a : bench.actions) {
-      auto add_def_dep = [&a, &bench](uint32_t def) {
-        if (def == kNoEvent || def >= a.ev.index ||
-            bench.actions[def].thread_index == a.thread_index) {
-          return;
-        }
-        for (Dep& d : a.deps) {
-          if (d.event == def) {
-            d.kind = DepKind::kCompletion;
-            return;
-          }
-        }
-        a.deps.push_back({def, DepKind::kCompletion, RuleTag::kTemporal});
-      };
-      if (a.fd_use_slot >= 0) {
-        add_def_dep(fd_def_event[static_cast<size_t>(a.fd_use_slot)]);
-      }
-      if (a.aio_use_slot >= 0) {
-        add_def_dep(aio_def_event[static_cast<size_t>(a.aio_use_slot)]);
-      }
-    }
+    builder.EmitTemporalDeps();
   }
+  bench.dep_arena_peak_bytes = bench.dep_arena.capacity() * sizeof(Dep);
 
   // Predelay is the interval between an action's issue and the moment its
   // inferred constraints were satisfied in the original execution (paper
   // Sec. 4.3.3): the latest of the same-thread predecessor's return and the
   // dependencies' returns. Computing it against the thread gap alone would
   // charge idle phases (e.g., a coordinator thread joining its workers) as
-  // compute and replay them as sleeps.
-  for (CompiledAction& a : bench.actions) {
-    TimeNs base = a.ev.enter - a.predelay;  // same-thread predecessor return
-    for (const Dep& d : a.deps) {
-      base = std::max(base, t.events[d.event].ret_time);
+  // compute and replay them as sleeps. This runs against the *unpruned*
+  // edge set: pruning must not change pacing.
+  for (uint32_t i = 0; i < n; ++i) {
+    const DepSpan deps = bench.DepsFor(i);
+    if (deps.empty()) {
+      continue;  // no constraints beyond the thread gap: predelay stands
     }
-    a.predelay = std::max<TimeNs>(0, a.ev.enter - base);
+    CompiledAction& a = bench.actions[i];
+    const TimeNs enter = bench.events[i].enter;
+    TimeNs base = enter - a.predelay;  // same-thread predecessor return
+    for (const Dep& d : deps) {
+      base = std::max(base, bench.events[d.event].ret_time);
+    }
+    a.predelay = std::max<TimeNs>(0, enter - base);
+  }
+
+  if (options.method == ReplayMethod::kArtc && options.prune_redundant_deps) {
+    PruneRedundantDeps(&bench);
   }
   return bench;
+}
+
+CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+                          const CompileOptions& options) {
+  // Labels exist for debugging and fsmodel tests; the compiler never reads
+  // them, so skip materializing one string per resource.
+  fsmodel::AnnotateOptions ann_opts;
+  ann_opts.materialize_labels = false;
+  fsmodel::AnnotatedTrace ann = fsmodel::AnnotateTrace(t, snapshot, ann_opts);
+  return CompileImpl(t.events, snapshot, ann, options);
+}
+
+CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+                          const fsmodel::AnnotatedTrace& annotated,
+                          const CompileOptions& options) {
+  return CompileImpl(t.events, snapshot, annotated, options);
+}
+
+CompiledBenchmark Compile(trace::Trace&& t, const trace::FsSnapshot& snapshot,
+                          const CompileOptions& options) {
+  fsmodel::AnnotateOptions ann_opts;
+  ann_opts.materialize_labels = false;
+  fsmodel::AnnotatedTrace ann = fsmodel::AnnotateTrace(t, snapshot, ann_opts);
+  return CompileImpl(std::move(t.events), snapshot, ann, options);
+}
+
+CompiledBenchmark Compile(trace::Trace&& t, const trace::FsSnapshot& snapshot,
+                          const fsmodel::AnnotatedTrace& annotated,
+                          const CompileOptions& options) {
+  return CompileImpl(std::move(t.events), snapshot, annotated, options);
 }
 
 }  // namespace artc::core

@@ -8,6 +8,7 @@
 #define SRC_CORE_COMPILER_H_
 
 #include "src/core/compiled.h"
+#include "src/fsmodel/resource_model.h"
 #include "src/trace/event.h"
 #include "src/trace/snapshot.h"
 
@@ -16,10 +17,36 @@ namespace artc::core {
 struct CompileOptions {
   ReplayMethod method = ReplayMethod::kArtc;
   ReplayModes modes;  // only consulted for kArtc
+  // Drop completion edges that are transitively implied by the dependent
+  // action's same-thread predecessor (kArtc only). Such edges can never be
+  // the one an action blocks on, so replay behaviour — including simulated
+  // timestamps under a fixed seed — is unchanged; the dep arena just gets
+  // smaller. EdgeStats::pruned_by_rule reports what was dropped;
+  // count_by_rule still reflects the full rule output.
+  bool prune_redundant_deps = true;
 };
 
 CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapshot,
                           const CompileOptions& options = {});
+
+// Compile against a precomputed annotation. `annotated` must have been
+// produced from this exact trace + snapshot. A pipeline that already ran
+// AnnotateTrace — for validation, statistics, or to compile the same trace
+// under several methods — passes it here instead of paying for a second
+// annotation pass (roughly a third of compile time on large traces).
+CompiledBenchmark Compile(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+                          const fsmodel::AnnotatedTrace& annotated,
+                          const CompileOptions& options);
+
+// Consuming overloads: when the caller is done with the trace (the normal
+// parse -> compile pipeline), the compiler steals the event vector instead
+// of copying ~200 bytes per event into the benchmark. The trace is left
+// moved-from.
+CompiledBenchmark Compile(trace::Trace&& t, const trace::FsSnapshot& snapshot,
+                          const CompileOptions& options = {});
+CompiledBenchmark Compile(trace::Trace&& t, const trace::FsSnapshot& snapshot,
+                          const fsmodel::AnnotatedTrace& annotated,
+                          const CompileOptions& options);
 
 }  // namespace artc::core
 

@@ -207,8 +207,7 @@ void PosixReplayEnv::Initialize(const trace::FsSnapshot& snapshot) {
   }
 }
 
-int64_t PosixReplayEnv::Execute(const CompiledAction& a, const ExecContext& ctx) {
-  const trace::TraceEvent& ev = a.ev;
+int64_t PosixReplayEnv::Execute(const trace::TraceEvent& ev, const ExecContext& ctx) {
   Sys call = ev.call;
   EmulationRule rule = GetEmulationRule(call, policy_.target_os);
   if (rule.action == EmulationAction::kIgnore) {

@@ -48,7 +48,7 @@ class PosixReplayEnv {
     }
     s.cv.notify_all();
   }
-  int64_t Execute(const CompiledAction& a, const ExecContext& ctx);
+  int64_t Execute(const trace::TraceEvent& ev, const ExecContext& ctx);
 
   // Creates the snapshot's tree under the sandbox root (real mkdir/open/
   // truncate/symlink). Special files become symlinks into the host /dev.

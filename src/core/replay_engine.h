@@ -14,7 +14,7 @@
 //   void SleepNs(TimeNs d);                       // from a replay thread
 //   void WaitOn(uint32_t idx, Pred pred);         // block until pred()
 //   void Notify(uint32_t idx);                    // wake idx's stripe
-//   int64_t Execute(const CompiledAction& a, const ExecContext& ctx);
+//   int64_t Execute(const trace::TraceEvent& ev, const ExecContext& ctx);
 //   (Execute returns the action's trace-convention result; for fd/aio
 //    creating calls the non-negative result is the runtime handle.)
 #ifndef SRC_CORE_REPLAY_ENGINE_H_
@@ -70,9 +70,10 @@ ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
   env.RunThreads(bench.thread_actions.size(), [&](size_t thread_index) {
     for (uint32_t idx : bench.thread_actions[thread_index]) {
       const CompiledAction& a = bench.actions[idx];
+      const trace::TraceEvent& ev = bench.events[idx];
       // 1. Wait for dependencies.
       TimeNs wait_start = env.Now();
-      for (const Dep& dep : a.deps) {
+      for (const Dep& dep : bench.DepsFor(idx)) {
         auto& flag = dep.kind == DepKind::kIssue ? issued[dep.event] : done[dep.event];
         if (flag.load(std::memory_order_acquire) == 0) {
           env.WaitOn(dep.event,
@@ -102,7 +103,7 @@ ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
         ctx.aio = aio_slots[static_cast<size_t>(a.aio_use_slot)].load(
             std::memory_order_acquire);
       }
-      int64_t ret = env.Execute(a, ctx);
+      int64_t ret = env.Execute(ev, ctx);
       out.complete = env.Now();
       out.ret = ret;
       out.executed = true;

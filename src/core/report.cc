@@ -51,15 +51,16 @@ ReplayReport BuildReport(const CompiledBenchmark& bench,
   report.method = bench.method;
   report.wall_time = wall_time;
   report.total_events = bench.actions.size();
-  for (const CompiledAction& a : bench.actions) {
-    const ActionOutcome& out = outcomes[a.ev.index];
+  for (uint32_t i = 0; i < bench.actions.size(); ++i) {
+    const trace::TraceEvent& ev = bench.events[i];
+    const ActionOutcome& out = outcomes[i];
     if (!out.executed) {
       report.failed_events++;
       continue;
     }
-    if (!OutcomeMatches(a.ev, out.ret)) {
+    if (!OutcomeMatches(ev, out.ret)) {
       report.failed_events++;
-      bool traced_ok = a.ev.ret >= 0;
+      bool traced_ok = ev.ret >= 0;
       bool replay_ok = out.ret >= 0;
       if (traced_ok && !replay_ok) {
         report.failed_unexpected_err++;
@@ -70,11 +71,11 @@ ReplayReport BuildReport(const CompiledBenchmark& bench,
       }
     }
     TimeNs dur = out.complete - out.issue;
-    size_t cat = static_cast<size_t>(trace::GetSysInfo(a.ev.call).category);
+    size_t cat = static_cast<size_t>(trace::GetSysInfo(ev.call).category);
     report.thread_time_by_category[cat] += dur;
     report.total_dep_stall += out.dep_stall;
-    report.count_by_sys[static_cast<size_t>(a.ev.call)]++;
-    report.time_by_sys[static_cast<size_t>(a.ev.call)] += dur;
+    report.count_by_sys[static_cast<size_t>(ev.call)]++;
+    report.time_by_sys[static_cast<size_t>(ev.call)] += dur;
   }
   report.outcomes = std::move(outcomes);
   return report;

@@ -9,7 +9,7 @@
 namespace artc::core {
 namespace {
 
-constexpr char kMagic[8] = {'A', 'R', 'T', 'C', 'B', '0', '0', '2'};
+constexpr char kMagic[8] = {'A', 'R', 'T', 'C', 'B', '0', '0', '3'};
 
 // Minimal length-prefixed binary writer/reader. All integers little-endian
 // native (the file is a local build artifact, not an interchange format).
@@ -118,21 +118,28 @@ void WriteBenchmark(const CompiledBenchmark& bench, std::ostream& out) {
   w.Pod<uint64_t>(bench.model_warnings);
 
   w.Pod<uint64_t>(bench.actions.size());
-  for (const CompiledAction& a : bench.actions) {
-    WriteEvent(w, a.ev);
+  for (size_t i = 0; i < bench.actions.size(); ++i) {
+    const CompiledAction& a = bench.actions[i];
+    WriteEvent(w, bench.events[i]);
     w.Pod<uint32_t>(a.thread_index);
     w.Pod<int32_t>(a.fd_use_slot);
     w.Pod<int32_t>(a.fd_def_slot);
     w.Pod<int32_t>(a.aio_use_slot);
     w.Pod<int32_t>(a.aio_def_slot);
     w.Pod<int64_t>(a.predelay);
-    w.Pod<uint32_t>(static_cast<uint32_t>(a.deps.size()));
-    for (const Dep& d : a.deps) {
-      w.Pod<uint32_t>(d.event);
-      w.Pod<uint8_t>(static_cast<uint8_t>(d.kind));
-      w.Pod<uint8_t>(static_cast<uint8_t>(d.rule));
-    }
   }
+
+  // Dependency CSR: offsets then the arena.
+  w.Pod<uint64_t>(bench.dep_arena.size());
+  for (size_t i = 0; i < bench.actions.size(); ++i) {
+    w.Pod<uint32_t>(bench.dep_offsets[i + 1]);
+  }
+  for (const Dep& d : bench.dep_arena) {
+    w.Pod<uint32_t>(d.event);
+    w.Pod<uint8_t>(static_cast<uint8_t>(d.kind));
+    w.Pod<uint8_t>(static_cast<uint8_t>(d.rule));
+  }
+  w.Pod<uint64_t>(bench.dep_arena_peak_bytes);
 
   w.Pod<uint32_t>(static_cast<uint32_t>(bench.thread_ids.size()));
   for (uint32_t tid : bench.thread_ids) {
@@ -155,6 +162,7 @@ void WriteBenchmark(const CompiledBenchmark& bench, std::ostream& out) {
   for (size_t i = 0; i < bench.edge_stats.count_by_rule.size(); ++i) {
     w.Pod<uint64_t>(bench.edge_stats.count_by_rule[i]);
     w.Pod<double>(bench.edge_stats.total_length_ns[i]);
+    w.Pod<uint64_t>(bench.edge_stats.pruned_by_rule[i]);
   }
 }
 
@@ -178,27 +186,43 @@ CompiledBenchmark ReadBenchmark(std::istream& in) {
   uint64_t n_actions = r.Pod<uint64_t>();
   ARTC_CHECK_MSG(n_actions < (1ULL << 32), "implausible action count");
   bench.actions.reserve(n_actions);
+  bench.events.reserve(n_actions);
   for (uint64_t i = 0; i < n_actions; ++i) {
+    bench.events.push_back(ReadEvent(r));
     CompiledAction a;
-    a.ev = ReadEvent(r);
     a.thread_index = r.Pod<uint32_t>();
     a.fd_use_slot = r.Pod<int32_t>();
     a.fd_def_slot = r.Pod<int32_t>();
     a.aio_use_slot = r.Pod<int32_t>();
     a.aio_def_slot = r.Pod<int32_t>();
     a.predelay = r.Pod<int64_t>();
-    uint32_t n_deps = r.Pod<uint32_t>();
-    a.deps.reserve(n_deps);
-    for (uint32_t d = 0; d < n_deps; ++d) {
-      Dep dep;
-      dep.event = r.Pod<uint32_t>();
-      dep.kind = static_cast<DepKind>(r.Pod<uint8_t>());
-      dep.rule = static_cast<RuleTag>(r.Pod<uint8_t>());
-      ARTC_CHECK(dep.event < i);
-      a.deps.push_back(dep);
-    }
-    bench.actions.push_back(std::move(a));
+    bench.actions.push_back(a);
   }
+
+  uint64_t n_deps = r.Pod<uint64_t>();
+  ARTC_CHECK_MSG(n_deps < (1ULL << 32), "implausible dep count");
+  bench.dep_offsets.assign(n_actions + 1, 0);
+  for (uint64_t i = 0; i < n_actions; ++i) {
+    uint32_t off = r.Pod<uint32_t>();
+    ARTC_CHECK(off >= bench.dep_offsets[i] && off <= n_deps);
+    bench.dep_offsets[i + 1] = off;
+  }
+  ARTC_CHECK(bench.dep_offsets[n_actions] == n_deps);
+  bench.dep_arena.reserve(n_deps);
+  for (uint64_t d = 0; d < n_deps; ++d) {
+    Dep dep;
+    dep.event = r.Pod<uint32_t>();
+    dep.kind = static_cast<DepKind>(r.Pod<uint8_t>());
+    dep.rule = static_cast<RuleTag>(r.Pod<uint8_t>());
+    bench.dep_arena.push_back(dep);
+  }
+  // Every dep must point backward from its owning action.
+  for (uint64_t i = 0; i < n_actions; ++i) {
+    for (const Dep& dep : bench.DepsFor(static_cast<uint32_t>(i))) {
+      ARTC_CHECK(dep.event < i);
+    }
+  }
+  bench.dep_arena_peak_bytes = r.Pod<uint64_t>();
 
   uint32_t n_threads = r.Pod<uint32_t>();
   bench.thread_ids.reserve(n_threads);
@@ -206,9 +230,9 @@ CompiledBenchmark ReadBenchmark(std::istream& in) {
   for (uint32_t i = 0; i < n_threads; ++i) {
     bench.thread_ids.push_back(r.Pod<uint32_t>());
   }
-  for (const CompiledAction& a : bench.actions) {
-    ARTC_CHECK(a.thread_index < n_threads);
-    bench.thread_actions[a.thread_index].push_back(static_cast<uint32_t>(a.ev.index));
+  for (uint32_t i = 0; i < n_actions; ++i) {
+    ARTC_CHECK(bench.actions[i].thread_index < n_threads);
+    bench.thread_actions[bench.actions[i].thread_index].push_back(i);
   }
 
   uint32_t n_entries = r.Pod<uint32_t>();
@@ -230,6 +254,7 @@ CompiledBenchmark ReadBenchmark(std::istream& in) {
   for (size_t i = 0; i < bench.edge_stats.count_by_rule.size(); ++i) {
     bench.edge_stats.count_by_rule[i] = r.Pod<uint64_t>();
     bench.edge_stats.total_length_ns[i] = r.Pod<double>();
+    bench.edge_stats.pruned_by_rule[i] = r.Pod<uint64_t>();
   }
   return bench;
 }

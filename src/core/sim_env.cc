@@ -67,14 +67,14 @@ void SimReplayEnv::Initialize(const trace::FsSnapshot& snapshot, bool delta) {
   fs_->RestoreSnapshot(patched, delta);
 }
 
-int64_t SimReplayEnv::AioSubmit(const CompiledAction& a, const ExecContext& ctx,
+int64_t SimReplayEnv::AioSubmit(const trace::TraceEvent& ev, const ExecContext& ctx,
                                 bool is_write) {
   int64_t handle = next_aio_handle_++;
   auto op = std::make_unique<AioOp>();
   AioOp* raw = op.get();
   int32_t fd = ctx.fd;
-  uint64_t size = a.ev.size;
-  int64_t offset = a.ev.offset >= 0 ? a.ev.offset : 0;
+  uint64_t size = ev.size;
+  int64_t offset = ev.offset >= 0 ? ev.offset : 0;
   raw->thread = sim_->Spawn("aio", [this, raw, fd, size, offset, is_write] {
     VfsResult r = is_write ? fs_->Pwrite(fd, size, offset) : fs_->Pread(fd, size, offset);
     raw->result = r.TraceRet();
@@ -99,8 +99,7 @@ int64_t SimReplayEnv::AioWait(int64_t handle, bool consume) {
   return result;
 }
 
-int64_t SimReplayEnv::Execute(const CompiledAction& a, const ExecContext& ctx) {
-  const trace::TraceEvent& ev = a.ev;
+int64_t SimReplayEnv::Execute(const trace::TraceEvent& ev, const ExecContext& ctx) {
   Sys call = ev.call;
   EmulationRule rule = GetEmulationRule(call, policy_.target_os);
   if (rule.action == EmulationAction::kIgnore) {
@@ -301,9 +300,9 @@ int64_t SimReplayEnv::Execute(const CompiledAction& a, const ExecContext& ctx) {
     case Sys::kExchangeData:
       return fs_->ExchangeData(ev.path, ev.path2).TraceRet();
     case Sys::kAioRead:
-      return AioSubmit(a, ctx, /*is_write=*/false);
+      return AioSubmit(ev, ctx, /*is_write=*/false);
     case Sys::kAioWrite:
-      return AioSubmit(a, ctx, /*is_write=*/true);
+      return AioSubmit(ev, ctx, /*is_write=*/true);
     case Sys::kAioError: {
       auto it = aio_ops_.find(ctx.aio);
       sim_->Sleep(Us(1));

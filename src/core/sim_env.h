@@ -41,7 +41,7 @@ class SimReplayEnv {
   // this is a pure user-space ready-list append per waiter — no kernel
   // wakeup — so the thundering-herd cost of striping stays negligible.
   void Notify(uint32_t idx) { stripes_[idx & stripe_mask_]->NotifyAll(); }
-  int64_t Execute(const CompiledAction& a, const ExecContext& ctx);
+  int64_t Execute(const trace::TraceEvent& ev, const ExecContext& ctx);
 
   // Restores the benchmark's snapshot into the VFS (Sec. 4.3.2), applying
   // emulation-policy tweaks such as the /dev/random -> /dev/urandom
@@ -54,7 +54,8 @@ class SimReplayEnv {
   // Asynchronous I/O support: aio submissions run on helper simulated
   // threads; aio_return joins them.
   struct AioOp;
-  int64_t AioSubmit(const CompiledAction& a, const ExecContext& ctx, bool is_write);
+  int64_t AioSubmit(const trace::TraceEvent& ev, const ExecContext& ctx,
+                    bool is_write);
   int64_t AioWait(int64_t handle, bool consume);
 
   sim::Simulation* sim_;

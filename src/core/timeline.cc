@@ -54,8 +54,8 @@ std::string RenderTimeline(const CompiledBenchmark& bench, const ReplayReport& r
                            const TimelineOptions& options) {
   std::vector<Span> spans;
   TimeNs t0 = INT64_MAX;
-  for (const CompiledAction& a : bench.actions) {
-    const ActionOutcome& out = report.outcomes[a.ev.index];
+  for (size_t i = 0; i < bench.actions.size(); ++i) {
+    const ActionOutcome& out = report.outcomes[i];
     if (out.executed) {
       t0 = std::min(t0, out.issue);
     }
@@ -63,10 +63,10 @@ std::string RenderTimeline(const CompiledBenchmark& bench, const ReplayReport& r
   if (t0 == INT64_MAX) {
     t0 = 0;
   }
-  for (const CompiledAction& a : bench.actions) {
-    const ActionOutcome& out = report.outcomes[a.ev.index];
+  for (size_t i = 0; i < bench.actions.size(); ++i) {
+    const ActionOutcome& out = report.outcomes[i];
     if (out.executed) {
-      spans.push_back({a.thread_index, out.issue - t0, out.complete - t0});
+      spans.push_back({bench.actions[i].thread_index, out.issue - t0, out.complete - t0});
     }
   }
   std::vector<std::string> labels;

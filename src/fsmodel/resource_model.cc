@@ -1,10 +1,12 @@
 #include "src/fsmodel/resource_model.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <unordered_map>
 
 #include "src/util/check.h"
+#include "src/util/interner.h"
 #include "src/util/strings.h"
 
 namespace artc::fsmodel {
@@ -45,11 +47,15 @@ constexpr uint8_t kNodeFile = 0;
 constexpr uint8_t kNodeDir = 1;
 constexpr uint8_t kNodeSymlink = 2;
 
-// Shadow tree node. Node identity *is* the file resource.
+inline constexpr uint32_t kNoPathId = UINT32_MAX;
+
+// Shadow tree node. Node identity *is* the file resource. Children are
+// keyed by interned component id, so descending the tree hashes and
+// compares 4-byte integers instead of string keys.
 struct Node {
   uint64_t id = 0;
   uint8_t type = kNodeFile;
-  std::map<std::string, uint64_t> children;  // dirs
+  std::map<uint32_t, uint64_t> children;  // dirs: interned name -> node id
   std::string symlink_target;
   uint32_t nlink = 1;
   uint32_t resource = kNoResource;  // lazily assigned
@@ -78,7 +84,9 @@ struct AioState {
 
 class Annotator {
  public:
-  Annotator(const trace::Trace& t, const trace::FsSnapshot& snapshot) : trace_(t) {
+  Annotator(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+            const AnnotateOptions& options)
+      : trace_(t), opts_(options) {
     // Resource 0 is the program.
     NewResource(ResourceKind::kProgram, "program");
     BuildTree(snapshot);
@@ -130,7 +138,8 @@ class Annotator {
     auto it = thread_res_.find(tid);
     uint32_t r;
     if (it == thread_res_.end()) {
-      r = NewResource(ResourceKind::kThread, StrFormat("thread:%u", tid));
+      r = NewResource(ResourceKind::kThread,
+                      Labels() ? StrFormat("thread:%u", tid) : std::string());
       thread_res_[tid] = r;
       out_.thread_ids.push_back(tid);
       out_.thread_resources.push_back(r);
@@ -157,8 +166,10 @@ class Annotator {
 
   uint32_t NodeResource(Node* n) {
     if (n->resource == kNoResource) {
-      n->resource = NewResource(ResourceKind::kFile, StrFormat("file:%llu",
-                                static_cast<unsigned long long>(n->id)));
+      n->resource = NewResource(
+          ResourceKind::kFile,
+          Labels() ? StrFormat("file:%llu", static_cast<unsigned long long>(n->id))
+                   : std::string());
     }
     return n->resource;
   }
@@ -173,27 +184,27 @@ class Annotator {
           break;
         case trace::SnapshotEntryType::kFile:
         case trace::SnapshotEntryType::kSpecial: {
-          Node* dir = MkdirAll(std::string(DirName(e.path)));
+          Node* dir = MkdirAll(DirName(e.path));
           Node* f = NewNode(kNodeFile);
-          dir->children[std::string(BaseName(e.path))] = f->id;
+          dir->children[Intern(BaseName(e.path))] = f->id;
           break;
         }
         case trace::SnapshotEntryType::kSymlink: {
-          Node* dir = MkdirAll(std::string(DirName(e.path)));
+          Node* dir = MkdirAll(DirName(e.path));
           Node* l = NewNode(kNodeSymlink);
           l->symlink_target = e.symlink_target;
-          dir->children[std::string(BaseName(e.path))] = l->id;
+          dir->children[Intern(BaseName(e.path))] = l->id;
           break;
         }
       }
     }
   }
 
-  Node* MkdirAll(const std::string& path) {
+  Node* MkdirAll(std::string_view path) {
     Node* dir = GetNode(root_);
     std::string norm = NormalizePath(path);  // keep alive: SplitPath returns views
     for (std::string_view comp : SplitPath(norm)) {
-      std::string name(comp);
+      uint32_t name = Intern(comp);
       auto it = dir->children.find(name);
       if (it != dir->children.end()) {
         Node* child = GetNode(it->second);
@@ -210,50 +221,55 @@ class Annotator {
     return dir;
   }
 
-  // Resolves a path to (node, parent, leaf-name), following symlinks; the
-  // nodes of traversed symlinks are appended to `via`.
+  // Resolves a path to (node, parent, leaf), following symlinks; the nodes
+  // of traversed symlinks are appended to `via`. All name bookkeeping is on
+  // interned ids; every intermediate path is a substring of the normalized
+  // input, so no per-component strings are built.
   struct Resolved {
     Node* node = nullptr;    // nullptr if unbound
     Node* parent = nullptr;  // immediate parent dir, if it exists
-    std::string leaf;
-    std::string parent_path;  // normalized absolute path of parent
-    std::string final_path;   // normalized absolute path of the leaf
+    uint32_t leaf = kNoPathId;           // interned leaf component name
+    uint32_t final_path_id = kNoPathId;  // interned normalized leaf path
   };
 
-  Resolved ResolvePath(const std::string& path, bool follow_last,
+  Resolved ResolvePath(std::string_view path, bool follow_last,
                        std::vector<Node*>* via, int depth = 0) {
     Resolved res;
     if (depth > 8) {
       return res;
     }
-    std::string norm = NormalizePath(path);
-    std::vector<std::string> parts;
-    for (std::string_view c : SplitPath(norm)) {
-      parts.emplace_back(c);
+    // Per-depth normalization buffers, reused across calls. Recursion (only
+    // through symlinks) gets its own slot, so the parent frame's component
+    // views stay valid while it builds the retarget path.
+    if (norm_stack_.size() <= static_cast<size_t>(depth)) {
+      norm_stack_.resize(depth + 1);
     }
+    std::string& norm = norm_stack_[depth];
+    NormalizePathInto(path, &norm);
+    std::string_view nview = norm;
     Node* dir = GetNode(root_);
-    std::string cur_path = "";
-    if (parts.empty()) {
+    if (nview == "/") {
       res.node = dir;
       res.parent = dir;
-      res.leaf = "/";
-      res.final_path = "/";
-      res.parent_path = "/";
+      res.leaf = Intern("/");
+      res.final_path_id = res.leaf;
       return res;
     }
-    for (size_t i = 0; i < parts.size(); ++i) {
-      bool last = i + 1 == parts.size();
+    size_t start = 1;
+    while (true) {
       if (dir->type != kNodeDir) {
         return res;
       }
-      auto it = dir->children.find(parts[i]);
-      std::string this_path = cur_path + "/" + parts[i];
+      size_t pos = nview.find('/', start);
+      size_t end = pos == std::string_view::npos ? nview.size() : pos;
+      bool last = end == nview.size();
+      uint32_t name = Intern(nview.substr(start, end - start));
+      auto it = dir->children.find(name);
       if (it == dir->children.end()) {
         if (last) {
           res.parent = dir;
-          res.leaf = parts[i];
-          res.parent_path = cur_path.empty() ? "/" : cur_path;
-          res.final_path = this_path;
+          res.leaf = name;
+          res.final_path_id = Intern(nview);
         }
         return res;
       }
@@ -262,82 +278,100 @@ class Annotator {
         if (via != nullptr) {
           via->push_back(child);
         }
-        std::string target = child->symlink_target;
+        std::string_view parent_path = start == 1 ? "/" : nview.substr(0, start - 1);
+        const std::string& target = child->symlink_target;
         std::string base = target.empty() || target[0] != '/'
-                               ? JoinPath(cur_path.empty() ? "/" : cur_path, target)
+                               ? JoinPath(parent_path, target)
                                : target;
-        for (size_t j = i + 1; j < parts.size(); ++j) {
-          base = JoinPath(base, parts[j]);
-        }
+        base.append(nview.substr(end));  // un-walked suffix, "/"-prefixed
         return ResolvePath(base, follow_last, via, depth + 1);
       }
       if (last) {
         res.node = child;
         res.parent = dir;
-        res.leaf = parts[i];
-        res.parent_path = cur_path.empty() ? "/" : cur_path;
-        res.final_path = this_path;
+        res.leaf = name;
+        res.final_path_id = Intern(nview);
         return res;
       }
       dir = child;
-      cur_path = this_path;
+      start = end + 1;
     }
-    return res;
   }
 
   // ---- path generations ----
+  // The table is keyed by interned normalized-path id; the path string is
+  // only pulled back out of the interner for labels and rename prefix scans.
 
-  PathState& PathFor(const std::string& norm_path) {
-    auto it = paths_.find(norm_path);
+  PathState& PathFor(uint32_t path_id) {
+    auto it = paths_.find(path_id);
     if (it != paths_.end()) {
       return it->second;
     }
     // First reference: bind lazily against the current tree.
     PathState st;
     std::vector<Node*> via;
+    std::string_view norm_path = interner_.View(path_id);
     Resolved r = ResolvePath(norm_path, /*follow_last=*/false, &via);
     st.bound = r.node != nullptr;
     st.node = r.node != nullptr ? r.node->id : 0;
     st.generation = 1;
     st.resource = NewResource(ResourceKind::kPath,
-                              StrFormat("path:%s@1%s", norm_path.c_str(),
-                                        st.bound ? "" : "(absent)"),
+                              Labels() ? StrFormat("path:%.*s@1%s",
+                                                   static_cast<int>(norm_path.size()),
+                                                   norm_path.data(),
+                                                   st.bound ? "" : "(absent)")
+                                       : std::string(),
                               kNoResource, /*initially_bound=*/st.bound);
-    return paths_.emplace(norm_path, st).first->second;
+    return paths_.emplace(path_id, st).first->second;
   }
 
-  // Declares that the binding of `norm_path` changed. The event receives a
+  // Declares that the binding of the path changed. The event receives a
   // kDelete touch on the old generation and a kCreate touch on the new one.
-  void RebindPath(const std::string& norm_path, bool now_bound, uint64_t node) {
-    PathState& st = PathFor(norm_path);
+  void RebindPath(uint32_t path_id, bool now_bound, uint64_t node) {
+    PathState& st = PathFor(path_id);
     TouchRes(st.resource, Access::kDelete);
     uint32_t prev = st.resource;
     st.generation++;
     st.bound = now_bound;
     st.node = node;
-    st.resource = NewResource(
-        ResourceKind::kPath,
-        StrFormat("path:%s@%u%s", norm_path.c_str(), st.generation,
-                  now_bound ? "" : "(absent)"),
-        prev, /*initially_bound=*/false);
+    std::string label;
+    if (Labels()) {
+      std::string_view norm_path = interner_.View(path_id);
+      label = StrFormat("path:%.*s@%u%s", static_cast<int>(norm_path.size()),
+                        norm_path.data(), st.generation, now_bound ? "" : "(absent)");
+    }
+    st.resource = NewResource(ResourceKind::kPath, std::move(label), prev,
+                              /*initially_bound=*/false);
     TouchRes(st.resource, Access::kCreate);
   }
 
   // Touches the current generation of a path (plain use).
-  void UsePath(const std::string& norm_path) {
-    TouchRes(PathFor(norm_path).resource, Access::kUse);
+  void UsePath(uint32_t path_id) {
+    TouchRes(PathFor(path_id).resource, Access::kUse);
+  }
+
+  // Normalizes a raw path into a reusable scratch buffer and interns it.
+  uint32_t InternPathName(std::string_view raw) {
+    NormalizePathInto(raw, &intern_scratch_);
+    return Intern(intern_scratch_);
   }
 
   // Collects all *referenced* paths at or under `prefix` (for directory
   // renames: every name the program has used that the rename invalidates).
-  std::vector<std::string> ReferencedPathsUnder(const std::string& prefix) {
-    std::vector<std::string> out;
-    std::string dir_prefix = prefix == "/" ? "/" : prefix + "/";
-    for (const auto& [p, st] : paths_) {
+  // Sorted by path string so rename handling numbers resources in a
+  // deterministic order regardless of hash-map iteration.
+  std::vector<uint32_t> ReferencedPathsUnder(std::string_view prefix) {
+    std::vector<uint32_t> out;
+    std::string dir_prefix = prefix == "/" ? std::string(prefix) : std::string(prefix) + "/";
+    for (const auto& [pid, st] : paths_) {
+      std::string_view p = interner_.View(pid);
       if (p == prefix || StartsWith(p, dir_prefix)) {
-        out.push_back(p);
+        out.push_back(pid);
       }
     }
+    std::sort(out.begin(), out.end(), [this](uint32_t a, uint32_t b) {
+      return interner_.View(a) < interner_.View(b);
+    });
     return out;
   }
 
@@ -352,8 +386,9 @@ class Annotator {
     st.generation++;
     st.open = true;
     st.node = node;
-    st.resource = NewResource(ResourceKind::kFd, StrFormat("fd:%d@%u", fd, st.generation),
-                              prev);
+    st.resource = NewResource(
+        ResourceKind::kFd,
+        Labels() ? StrFormat("fd:%d@%u", fd, st.generation) : std::string(), prev);
     TouchRes(st.resource, Access::kCreate);
   }
 
@@ -382,10 +417,10 @@ class Annotator {
   // literal path (current gen), traversed symlinks, parent dir node, target
   // node. Returns the target node (nullptr if absent).
   Node* UsePathTarget(const std::string& raw_path, bool follow_last) {
-    std::string norm = NormalizePath(raw_path);
+    uint32_t pid = InternPathName(raw_path);
     std::vector<Node*> via;
-    Resolved r = ResolvePath(norm, follow_last, &via);
-    UsePath(norm);
+    Resolved r = ResolvePath(interner_.View(pid), follow_last, &via);
+    UsePath(pid);
     for (Node* link : via) {
       TouchRes(NodeResource(link), Access::kUse);
     }
@@ -414,7 +449,7 @@ class Annotator {
       TouchRes(NodeResource(parent), Access::kUse);
       Node* fresh = NewNode(node_type);
       parent->children[r.leaf] = fresh->id;
-      RebindPath(r.final_path, true, fresh->id);
+      RebindPath(r.final_path_id, true, fresh->id);
       TouchRes(NodeResource(fresh), Access::kCreate);
       if (ev.call == Sys::kOpen) {
         FdOpen(static_cast<int32_t>(ev.ret), fresh->id);
@@ -424,7 +459,7 @@ class Annotator {
     if (r.parent == nullptr) {
       Warn(StrFormat("event %llu: create under missing parent %s",
                      static_cast<unsigned long long>(ev.index), norm.c_str()));
-      MkdirAll(std::string(DirName(norm)));
+      MkdirAll(DirName(norm));
       std::vector<Node*> via2;
       r = ResolvePath(norm, /*follow_last=*/false, &via2);
       if (r.parent == nullptr) {
@@ -437,7 +472,7 @@ class Annotator {
       fresh->symlink_target = ev.path;  // symlink(target=path, link=path2)
     }
     r.parent->children[r.leaf] = fresh->id;
-    RebindPath(r.final_path, true, fresh->id);
+    RebindPath(r.final_path_id, true, fresh->id);
     TouchRes(NodeResource(fresh), Access::kCreate);
     if (ev.call == Sys::kOpen) {
       FdOpen(static_cast<int32_t>(ev.ret), fresh->id);
@@ -452,7 +487,7 @@ class Annotator {
       TouchRes(NodeResource(link), Access::kUse);
     }
     if (ev.Failed() || r.node == nullptr) {
-      UsePath(norm);
+      UsePath(Intern(norm));
       if (r.parent != nullptr) {
         TouchRes(NodeResource(r.parent), Access::kUse);
       }
@@ -466,7 +501,7 @@ class Annotator {
     bool gone = is_rmdir || r.node->nlink == 0;
     TouchRes(NodeResource(r.node), gone ? Access::kDelete : Access::kUse);
     r.parent->children.erase(r.leaf);
-    RebindPath(r.final_path, false, 0);
+    RebindPath(r.final_path_id, false, 0);
   }
 
   void HandleRename(const TraceEvent& ev) {
@@ -479,8 +514,8 @@ class Annotator {
       TouchRes(NodeResource(link), Access::kUse);
     }
     if (ev.Failed() || rs.node == nullptr || rd.parent == nullptr) {
-      UsePath(src);
-      UsePath(dst);
+      UsePath(Intern(src));
+      UsePath(Intern(dst));
       if (rs.parent != nullptr) {
         TouchRes(NodeResource(rs.parent), Access::kUse);
       }
@@ -495,10 +530,10 @@ class Annotator {
     bool is_dir = rs.node->type == kNodeDir;
 
     // Every referenced path under the source moves: old generations close.
-    std::vector<std::string> moved = ReferencedPathsUnder(src);
+    std::vector<uint32_t> moved = ReferencedPathsUnder(src);
     // The destination (and referenced paths under it, if replacing a dir)
     // also rebind.
-    std::vector<std::string> clobbered = ReferencedPathsUnder(dst);
+    std::vector<uint32_t> clobbered = ReferencedPathsUnder(dst);
 
     if (rd.node != nullptr) {
       TouchRes(NodeResource(rd.node), Access::kDelete);  // replaced target dies
@@ -507,21 +542,25 @@ class Annotator {
     rs.parent->children.erase(rs.leaf);
     rd.parent->children[rd.leaf] = rs.node->id;
 
-    for (const std::string& p : moved) {
-      RebindPath(p, false, 0);
+    // Interned id of the destination-side name for each moved source path.
+    auto moved_dest = [&](uint32_t pid) {
+      std::string_view p = interner_.View(pid);
+      std::string np = NormalizePath(dst + std::string(p.substr(src.size())));
+      return Intern(np);
+    };
+
+    for (uint32_t pid : moved) {
+      RebindPath(pid, false, 0);
       // The corresponding destination path becomes bound.
-      std::string suffix = p.substr(src.size());
-      std::string np = NormalizePath(dst + suffix);
+      uint32_t np = moved_dest(pid);
       std::vector<Node*> tmp;
-      Resolved rr = ResolvePath(np, /*follow_last=*/false, &tmp);
+      Resolved rr = ResolvePath(interner_.View(np), /*follow_last=*/false, &tmp);
       RebindPath(np, rr.node != nullptr, rr.node != nullptr ? rr.node->id : 0);
     }
-    for (const std::string& p : clobbered) {
+    for (uint32_t pid : clobbered) {
       bool already = false;
-      std::string suffix_guard = dst == "/" ? "/" : dst + "/";
-      for (const std::string& m : moved) {
-        std::string suffix = m.substr(src.size());
-        if (NormalizePath(dst + suffix) == p) {
+      for (uint32_t m : moved) {
+        if (moved_dest(m) == pid) {
           already = true;
           break;
         }
@@ -530,8 +569,8 @@ class Annotator {
         continue;
       }
       std::vector<Node*> tmp;
-      Resolved rr = ResolvePath(p, /*follow_last=*/false, &tmp);
-      RebindPath(p, rr.node != nullptr, rr.node != nullptr ? rr.node->id : 0);
+      Resolved rr = ResolvePath(interner_.View(pid), /*follow_last=*/false, &tmp);
+      RebindPath(pid, rr.node != nullptr, rr.node != nullptr ? rr.node->id : 0);
     }
     (void)is_dir;
   }
@@ -547,14 +586,14 @@ class Annotator {
         Resolved r = ResolvePath(norm, follow, &via);
         bool creates = !ev.Failed() && (ev.flags & trace::kOpenCreate) && r.node == nullptr;
         if (creates) {
-          UsePath(norm);
+          UsePath(Intern(norm));
           HandleCreateAt(ev, kNodeFile);
           break;
         }
         if (!ev.Failed() && (ev.flags & trace::kOpenCreate) &&
             (ev.flags & trace::kOpenExcl) && r.node != nullptr) {
           // Successful exclusive create over a bound path: trace anomaly.
-          UsePath(norm);
+          UsePath(Intern(norm));
           HandleCreateAt(ev, kNodeFile);
           break;
         }
@@ -673,7 +712,7 @@ class Annotator {
         break;
       case Sys::kMkdir:
         if (!ev.Failed()) {
-          UsePath(NormalizePath(ev.path));
+          UsePath(InternPathName(ev.path));
           HandleCreateAt(ev, kNodeDir);
         } else {
           UsePathTarget(ev.path, /*follow_last=*/false);
@@ -682,7 +721,7 @@ class Annotator {
       case Sys::kSymlink:
         // path = target (not touched: may not exist), path2 = link name.
         if (!ev.Failed()) {
-          UsePath(NormalizePath(ev.path2));
+          UsePath(InternPathName(ev.path2));
           HandleCreateAt(ev, kNodeSymlink);
         } else {
           UsePathTarget(ev.path2, /*follow_last=*/false);
@@ -701,11 +740,11 @@ class Annotator {
           UsePathTarget(ev.path2, /*follow_last=*/false);
           break;
         }
-        UsePath(norm);
+        UsePath(Intern(norm));
         TouchRes(NodeResource(r.parent), Access::kUse);
         target->nlink++;
         r.parent->children[r.leaf] = target->id;
-        RebindPath(r.final_path, true, target->id);
+        RebindPath(r.final_path_id, true, target->id);
         break;
       }
       case Sys::kUnlink:
@@ -739,8 +778,10 @@ class Annotator {
           st.live = true;
           st.resource = NewResource(
               ResourceKind::kAiocb,
-              StrFormat("aiocb:%llu@%u", static_cast<unsigned long long>(ev.aio_id),
-                        st.generation),
+              Labels() ? StrFormat("aiocb:%llu@%u",
+                                   static_cast<unsigned long long>(ev.aio_id),
+                                   st.generation)
+                       : std::string(),
               prev);
           TouchRes(st.resource, Access::kCreate);
         }
@@ -777,14 +818,22 @@ class Annotator {
     }
   }
 
+  uint32_t Intern(std::string_view s) { return interner_.Intern(s); }
+  bool Labels() const { return opts_.materialize_labels; }
+
   const trace::Trace& trace_;
+  const AnnotateOptions opts_;
   AnnotatedTrace out_;
   std::vector<Touch>* cur_ = nullptr;
+
+  util::StringInterner interner_;       // path names and components
+  std::vector<std::string> norm_stack_;  // ResolvePath per-depth buffers
+  std::string intern_scratch_;           // InternPathName buffer
 
   std::unordered_map<uint64_t, std::unique_ptr<Node>> nodes_;
   uint64_t next_node_ = 1;
   uint64_t root_ = 0;
-  std::unordered_map<std::string, PathState> paths_;
+  std::unordered_map<uint32_t, PathState> paths_;  // interned path id -> state
   std::unordered_map<int32_t, FdState> fds_;
   std::unordered_map<uint64_t, AioState> aios_;
   std::unordered_map<uint32_t, uint32_t> thread_res_;
@@ -792,8 +841,9 @@ class Annotator {
 
 }  // namespace
 
-AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot) {
-  Annotator a(t, snapshot);
+AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+                             const AnnotateOptions& options) {
+  Annotator a(t, snapshot, options);
   return a.Run();
 }
 

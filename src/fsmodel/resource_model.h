@@ -70,8 +70,16 @@ struct AnnotatedTrace {
   std::vector<uint32_t> thread_ids;        // parallel array
 };
 
+struct AnnotateOptions {
+  // Materialize human-readable ResourceInfo::label strings ("path:/a/b@2").
+  // Labels exist for tests and debug dumps only; the compiler runs with
+  // them off, which removes a StrFormat per resource from the hot path.
+  bool materialize_labels = true;
+};
+
 // Scans the trace once against the snapshot and annotates every event.
-AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot);
+AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot,
+                             const AnnotateOptions& options = {});
 
 const char* ResourceKindName(ResourceKind k);
 

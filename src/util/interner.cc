@@ -1,0 +1,58 @@
+#include "src/util/interner.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace artc::util {
+
+namespace {
+constexpr size_t kChunkBytes = 64 << 10;
+}  // namespace
+
+std::string_view StringInterner::Store(std::string_view s) {
+  if (chunk_used_ + s.size() > chunk_cap_) {
+    size_t cap = std::max(kChunkBytes, s.size());
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    chunk_used_ = 0;
+    chunk_cap_ = cap;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, s.data(), s.size());
+  chunk_used_ += s.size();
+  payload_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+uint32_t StringInterner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(s);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  ARTC_CHECK_MSG(views_.size() < UINT32_MAX, "interner id space exhausted");
+  std::string_view stored = Store(s);
+  uint32_t id = static_cast<uint32_t>(views_.size());
+  views_.push_back(stored);
+  ids_.emplace(stored, id);
+  return id;
+}
+
+std::string_view StringInterner::View(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ARTC_CHECK_MSG(id < views_.size(), "interner id out of range");
+  return views_[id];
+}
+
+size_t StringInterner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return views_.size();
+}
+
+size_t StringInterner::payload_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payload_;
+}
+
+}  // namespace artc::util

@@ -1,0 +1,58 @@
+// String interner: maps strings to dense 32-bit ids and back. The compile
+// pipeline interns path names once and does all subsequent bookkeeping
+// (shadow-tree children, path-generation tables) on the ids, so the hot
+// annotation loops compare and hash 4-byte integers instead of rebuilding
+// std::string keys per component.
+//
+// Interned views are stable for the lifetime of the interner: string bytes
+// live in append-only chunks that are never reallocated.
+//
+// Thread safety: Intern/View/size may be called concurrently from multiple
+// threads (a single mutex; the annotator owns a private interner, so the
+// lock is uncontended on the hot path).
+#ifndef SRC_UTIL_INTERNER_H_
+#define SRC_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace artc::util {
+
+class StringInterner {
+ public:
+  StringInterner() = default;
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  // Returns the id for `s`, assigning the next dense id on first sight.
+  uint32_t Intern(std::string_view s);
+
+  // The interned bytes for `id`. Valid for the interner's lifetime.
+  std::string_view View(uint32_t id) const;
+
+  // Number of distinct strings interned so far.
+  size_t size() const;
+
+  // Total bytes of string payload stored (diagnostics).
+  size_t payload_bytes() const;
+
+ private:
+  // Copies `s` into chunk storage and returns a stable view of the copy.
+  std::string_view Store(std::string_view s);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string_view, uint32_t> ids_;  // keys view into chunks
+  std::vector<std::string_view> views_;                 // id -> stable view
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_used_ = 0;
+  size_t chunk_cap_ = 0;
+  size_t payload_ = 0;
+};
+
+}  // namespace artc::util
+
+#endif  // SRC_UTIL_INTERNER_H_

@@ -47,27 +47,37 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
 }
 
-std::string NormalizePath(std::string_view path) {
-  std::vector<std::string_view> stack;
-  for (std::string_view comp : SplitPath(path)) {
-    if (comp == ".") {
+void NormalizePathInto(std::string_view path, std::string* out) {
+  out->clear();
+  // Components are views into `path`; the ".." pops work directly on the
+  // output buffer, so no component stack is materialized.
+  size_t start = 0;
+  while (start < path.size()) {
+    size_t pos = path.find('/', start);
+    size_t end = pos == std::string_view::npos ? path.size() : pos;
+    std::string_view comp = path.substr(start, end - start);
+    start = end + 1;
+    if (comp.empty() || comp == ".") {
       continue;
     }
     if (comp == "..") {
-      if (!stack.empty()) {
-        stack.pop_back();
+      size_t cut = out->rfind('/');
+      if (cut != std::string::npos) {
+        out->resize(cut);
       }
       continue;
     }
-    stack.push_back(comp);
+    out->push_back('/');
+    out->append(comp);
   }
-  std::string out = "/";
-  for (size_t i = 0; i < stack.size(); ++i) {
-    out.append(stack[i]);
-    if (i + 1 < stack.size()) {
-      out.push_back('/');
-    }
+  if (out->empty()) {
+    out->push_back('/');
   }
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::string out;
+  NormalizePathInto(path, &out);
   return out;
 }
 

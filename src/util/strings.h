@@ -21,6 +21,11 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 // "..". Does not consult any file system. "/a/b/../c" -> "/a/c".
 std::string NormalizePath(std::string_view path);
 
+// Same, writing into a caller-owned buffer so hot loops can reuse one
+// growing string instead of allocating per call. `out` must not alias
+// `path`'s storage.
+void NormalizePathInto(std::string_view path, std::string* out);
+
 // Joins a directory path and a (possibly relative) name.
 std::string JoinPath(std::string_view dir, std::string_view name);
 

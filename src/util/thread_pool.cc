@@ -1,0 +1,81 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace artc::util {
+
+ThreadPool::ThreadPool(size_t workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+    if (queue_.empty()) {
+      return;  // stopping_ and fully drained
+    }
+    std::function<void()> fn = std::move(queue_.front());
+    queue_.pop_front();
+    active_++;
+    lock.unlock();
+    fn();
+    lock.lock();
+    active_--;
+    if (queue_.empty() && active_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) {
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace artc::util

@@ -44,19 +44,23 @@ TEST(Serialize, RoundTripPreservesEverything) {
   for (size_t i = 0; i < bench.actions.size(); ++i) {
     const CompiledAction& a = bench.actions[i];
     const CompiledAction& b = back.actions[i];
-    EXPECT_EQ(a.ev.call, b.ev.call) << i;
-    EXPECT_EQ(a.ev.path, b.ev.path) << i;
-    EXPECT_EQ(a.ev.ret, b.ev.ret) << i;
+    EXPECT_EQ(bench.events[i].call, back.events[i].call) << i;
+    EXPECT_EQ(bench.events[i].path, back.events[i].path) << i;
+    EXPECT_EQ(bench.events[i].ret, back.events[i].ret) << i;
     EXPECT_EQ(a.fd_use_slot, b.fd_use_slot) << i;
     EXPECT_EQ(a.fd_def_slot, b.fd_def_slot) << i;
     EXPECT_EQ(a.predelay, b.predelay) << i;
-    ASSERT_EQ(a.deps.size(), b.deps.size()) << i;
-    for (size_t d = 0; d < a.deps.size(); ++d) {
-      EXPECT_EQ(a.deps[d].event, b.deps[d].event);
-      EXPECT_EQ(a.deps[d].kind, b.deps[d].kind);
-      EXPECT_EQ(a.deps[d].rule, b.deps[d].rule);
+    DepSpan ad = bench.DepsFor(static_cast<uint32_t>(i));
+    DepSpan bd = back.DepsFor(static_cast<uint32_t>(i));
+    ASSERT_EQ(ad.size(), bd.size()) << i;
+    for (size_t d = 0; d < ad.size(); ++d) {
+      EXPECT_EQ(ad[d].event, bd[d].event);
+      EXPECT_EQ(ad[d].kind, bd[d].kind);
+      EXPECT_EQ(ad[d].rule, bd[d].rule);
     }
   }
+  EXPECT_EQ(back.dep_arena.size(), bench.dep_arena.size());
+  EXPECT_EQ(back.edge_stats.TotalPruned(), bench.edge_stats.TotalPruned());
 }
 
 TEST(Serialize, DeserializedBenchmarkReplaysIdentically) {

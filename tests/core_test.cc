@@ -38,9 +38,9 @@ TEST(Compiler, ProducesActionsAndThreads) {
   EXPECT_GT(bench.fd_slot_count, 0u);
   EXPECT_EQ(bench.model_warnings, 0u);
   // Deps only point backward.
-  for (const CompiledAction& a : bench.actions) {
-    for (const Dep& d : a.deps) {
-      EXPECT_LT(d.event, a.ev.index);
+  for (uint32_t i = 0; i < bench.actions.size(); ++i) {
+    for (const Dep& d : bench.DepsFor(i)) {
+      EXPECT_LT(d.event, i);
     }
   }
 }
@@ -52,8 +52,8 @@ TEST(Compiler, SingleThreadedHasOneReplayThreadAndNoDeps) {
   CompiledBenchmark bench = Compile(run.trace, run.snapshot, opt);
   ASSERT_EQ(bench.thread_actions.size(), 1u);
   EXPECT_EQ(bench.thread_actions[0].size(), bench.actions.size());
-  for (const CompiledAction& a : bench.actions) {
-    EXPECT_TRUE(a.deps.empty());
+  for (uint32_t i = 0; i < bench.actions.size(); ++i) {
+    EXPECT_TRUE(bench.DepsFor(i).empty());
   }
 }
 
@@ -63,9 +63,10 @@ TEST(Compiler, TemporalChainsIssueOrder) {
   opt.method = ReplayMethod::kTemporal;
   CompiledBenchmark bench = Compile(run.trace, run.snapshot, opt);
   for (size_t i = 1; i < bench.actions.size(); ++i) {
-    ASSERT_EQ(bench.actions[i].deps.size(), 1u);
-    EXPECT_EQ(bench.actions[i].deps[0].event, i - 1);
-    EXPECT_EQ(bench.actions[i].deps[0].kind, DepKind::kIssue);
+    DepSpan deps = bench.DepsFor(static_cast<uint32_t>(i));
+    ASSERT_EQ(deps.size(), 1u);
+    EXPECT_EQ(deps[0].event, i - 1);
+    EXPECT_EQ(deps[0].kind, DepKind::kIssue);
   }
 }
 

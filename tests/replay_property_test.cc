@@ -91,10 +91,10 @@ TEST_P(ReplayProperty, ReplayInvariantsHold) {
     }
   }
   EXPECT_EQ(placed, bench.actions.size());  // every action on exactly one thread
-  for (const CompiledAction& a : bench.actions) {
-    EXPECT_GE(a.predelay, 0);
-    for (const Dep& d : a.deps) {
-      EXPECT_LT(d.event, a.ev.index);  // DAG: edges point backward
+  for (uint32_t i = 0; i < bench.actions.size(); ++i) {
+    EXPECT_GE(bench.actions[i].predelay, 0);
+    for (const Dep& d : bench.DepsFor(i)) {
+      EXPECT_LT(d.event, i);  // DAG: edges point backward
     }
   }
 
@@ -107,19 +107,19 @@ TEST_P(ReplayProperty, ReplayInvariantsHold) {
   EXPECT_GT(res.report.wall_time, 0);
   EXPECT_GE(res.report.TotalThreadTime(), 0);
 
-  for (const CompiledAction& a : bench.actions) {
-    const ActionOutcome& out = res.report.outcomes[a.ev.index];
+  for (uint32_t i = 0; i < bench.actions.size(); ++i) {
+    const ActionOutcome& out = res.report.outcomes[i];
     EXPECT_TRUE(out.executed);
     EXPECT_LE(out.issue, out.complete);
     // Completion-ordering rules were honoured during replay.
-    for (const Dep& d : a.deps) {
+    for (const Dep& d : bench.DepsFor(i)) {
       const ActionOutcome& dep_out = res.report.outcomes[d.event];
       if (d.kind == DepKind::kCompletion) {
         EXPECT_LE(dep_out.complete, out.issue)
-            << "completion dep " << d.event << " -> " << a.ev.index;
+            << "completion dep " << d.event << " -> " << i;
       } else {
         EXPECT_LE(dep_out.issue, out.issue)
-            << "issue dep " << d.event << " -> " << a.ev.index;
+            << "issue dep " << d.event << " -> " << i;
       }
     }
   }

@@ -1,0 +1,116 @@
+// Concurrency tests for the host-level utilities the parallel suite runner
+// leans on: StringInterner under concurrent interning (real std::thread, so
+// the TSan CI job exercises the locking) and ThreadPool shutdown/drain
+// semantics.
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/interner.h"
+#include "src/util/thread_pool.h"
+
+namespace artc::util {
+namespace {
+
+TEST(StringInterner, DenseIdsAndStableViews) {
+  StringInterner in;
+  uint32_t a = in.Intern("/usr/lib");
+  uint32_t b = in.Intern("/usr/bin");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, in.Intern("/usr/lib"));
+  EXPECT_EQ(in.size(), 2u);
+  EXPECT_EQ(in.View(a), "/usr/lib");
+  EXPECT_EQ(in.View(b), "/usr/bin");
+  // Views must survive chunk growth: intern enough payload to force several
+  // new chunks, then re-check the first view.
+  std::string_view first = in.View(a);
+  for (int i = 0; i < 20000; ++i) {
+    in.Intern("/cache/entry/" + std::to_string(i));
+  }
+  EXPECT_EQ(first, "/usr/lib");
+  EXPECT_EQ(in.View(a).data(), first.data());
+}
+
+TEST(StringInterner, ConcurrentInternAgreesOnIds) {
+  StringInterner in;
+  constexpr int kThreads = 8;
+  // Power of two so every per-thread odd stride below is coprime with it
+  // and each thread covers every key.
+  constexpr int kStrings = 2048;
+  // All threads intern the same kStrings keys in different orders; every
+  // thread must observe the same string -> id mapping.
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kStrings));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        // Stride by a per-thread odd step so threads collide on fresh keys.
+        int k = (i * (2 * t + 1)) % kStrings;
+        ids[t][k] = in.Intern("/shared/path/" + std::to_string(k));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(in.size(), static_cast<size_t>(kStrings));
+  for (int k = 0; k < kStrings; ++k) {
+    for (int t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(ids[t][k], ids[0][k]) << "thread " << t << " key " << k;
+    }
+    EXPECT_EQ(in.View(ids[0][k]), "/shared/path/" + std::to_string(k));
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    // One worker and many queued tasks: most are still queued when the
+    // destructor runs, and all of them must still execute.
+    ThreadPool pool(1);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, WaitBlocksUntilSubmittedWorkFinishes) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 200);
+  // Wait() is re-armable: a second batch after a completed Wait works too.
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 250);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) {
+    h.store(0, std::memory_order_relaxed);
+  }
+  ParallelFor(pool, kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace artc::util
