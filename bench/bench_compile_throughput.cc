@@ -20,6 +20,7 @@
 
 #include "src/core/compiler.h"
 #include "src/fsmodel/resource_model.h"
+#include "src/obs/obs.h"
 #include "src/trace/trace_io.h"
 #include "src/workloads/micro.h"
 #include "src/workloads/workload.h"
@@ -146,4 +147,9 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace artc::bench
 
-int main(int argc, char** argv) { return artc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
+  // where trace.json / metrics.json land.
+  artc::obs::ScopedObsSession obs_session;
+  return artc::bench::Main(argc, argv);
+}

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "src/obs/obs.h"
 #include "src/workloads/micro.h"
 
 namespace artc {
@@ -55,4 +56,9 @@ int Main() {
 
 }  // namespace artc
 
-int main() { return artc::Main(); }
+int main() {
+  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
+  // where trace.json / metrics.json land.
+  artc::obs::ScopedObsSession obs_session;
+  return artc::Main();
+}

@@ -2,9 +2,11 @@
 // on a single disk and replayed on a 2-disk RAID-0 (512 KB chunks), and vice
 // versa. Single-threaded replay cannot exploit the array's parallelism when
 // moving from one disk to two.
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "src/obs/obs.h"
 #include "src/workloads/micro.h"
 
 namespace artc {
@@ -40,10 +42,33 @@ void RunDirection(const char* source_name, const char* target_name) {
       ReplayWithMethod(run, ReplayMethod::kSingleThreaded, target).report.wall_time;
   TimeNs temporal =
       ReplayWithMethod(run, ReplayMethod::kTemporal, target).report.wall_time;
-  TimeNs artc = ReplayWithMethod(run, ReplayMethod::kArtc, target).report.wall_time;
+  core::SimReplayResult artc_res = ReplayWithMethod(run, ReplayMethod::kArtc, target);
+  TimeNs artc = artc_res.report.wall_time;
   std::printf("%-6s -> %-6s %9.1fs %+11.1f%% %+11.1f%% %+11.1f%%\n", source_name,
               target_name, ToSeconds(orig_on_target), PctError(single, orig_on_target),
               PctError(temporal, orig_on_target), PctError(artc, orig_on_target));
+  // Storage counters from the ARTC replay as one machine-readable line:
+  // stripe balance is the load share of the busiest RAID member (0.5 =
+  // perfectly balanced 2-disk array; 1.0 = everything on one member).
+  const storage::StorageCounters& sc = artc_res.storage;
+  double stripe_balance = 0.0;
+  uint64_t raid_total = 0;
+  uint64_t raid_max = 0;
+  for (size_t m = 0; m < sc.raid_member_read_blocks.size(); ++m) {
+    uint64_t blocks = sc.raid_member_read_blocks[m] + sc.raid_member_write_blocks[m];
+    raid_total += blocks;
+    raid_max = std::max(raid_max, blocks);
+  }
+  if (raid_total > 0) {
+    stripe_balance = static_cast<double>(raid_max) / static_cast<double>(raid_total);
+  }
+  std::printf("{\"bench\": \"fig5b\", \"source\": \"%s\", \"target\": \"%s\", "
+              "\"media_read_blocks\": %llu, \"media_write_blocks\": %llu, "
+              "\"raid_members\": %zu, \"stripe_balance\": %.3f}\n",
+              source_name, target_name,
+              static_cast<unsigned long long>(sc.media_read_blocks),
+              static_cast<unsigned long long>(sc.media_write_blocks),
+              sc.raid_member_read_blocks.size(), stripe_balance);
 }
 
 }  // namespace
@@ -61,4 +86,9 @@ int Main() {
 
 }  // namespace artc
 
-int main() { return artc::Main(); }
+int main() {
+  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
+  // where trace.json / metrics.json land.
+  artc::obs::ScopedObsSession obs_session;
+  return artc::Main();
+}

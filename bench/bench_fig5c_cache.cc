@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "src/obs/obs.h"
 #include "src/workloads/micro.h"
 
 namespace artc {
@@ -51,11 +52,29 @@ void RunDirection(bool source_big) {
       ReplayWithMethod(run, ReplayMethod::kSingleThreaded, target).report.wall_time;
   TimeNs temporal =
       ReplayWithMethod(run, ReplayMethod::kTemporal, target).report.wall_time;
-  TimeNs artc = ReplayWithMethod(run, ReplayMethod::kArtc, target).report.wall_time;
+  core::SimReplayResult artc_res = ReplayWithMethod(run, ReplayMethod::kArtc, target);
+  TimeNs artc = artc_res.report.wall_time;
   std::printf("%-12s -> %-12s %9.1fs %+11.1f%% %+11.1f%% %+11.1f%%\n",
               source_big ? "big-cache" : "small-cache",
               source_big ? "small-cache" : "big-cache", ToSeconds(orig),
               PctError(single, orig), PctError(temporal, orig), PctError(artc, orig));
+  // Cache behaviour of the ARTC replay, machine-readable. The hit rate is
+  // the figure's mechanism: big->small turns thread 1's hits into misses.
+  const storage::StorageCounters& sc = artc_res.storage;
+  uint64_t looked_up = sc.cache_hit_blocks + sc.cache_miss_blocks;
+  std::printf("{\"bench\": \"fig5c\", \"source\": \"%s\", \"target\": \"%s\", "
+              "\"cache_hit_blocks\": %llu, \"cache_miss_blocks\": %llu, "
+              "\"cache_hit_rate\": %.3f, \"cache_evicted_blocks\": %llu, "
+              "\"cache_writeback_blocks\": %llu}\n",
+              source_big ? "big-cache" : "small-cache",
+              source_big ? "small-cache" : "big-cache",
+              static_cast<unsigned long long>(sc.cache_hit_blocks),
+              static_cast<unsigned long long>(sc.cache_miss_blocks),
+              looked_up > 0 ? static_cast<double>(sc.cache_hit_blocks) /
+                                  static_cast<double>(looked_up)
+                            : 0.0,
+              static_cast<unsigned long long>(sc.cache_evicted_blocks),
+              static_cast<unsigned long long>(sc.cache_writeback_blocks));
 }
 
 }  // namespace
@@ -74,4 +93,9 @@ int Main() {
 
 }  // namespace artc
 
-int main() { return artc::Main(); }
+int main() {
+  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
+  // where trace.json / metrics.json land.
+  artc::obs::ScopedObsSession obs_session;
+  return artc::Main();
+}

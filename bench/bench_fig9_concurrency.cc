@@ -6,6 +6,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/timeline.h"
+#include "src/obs/obs.h"
 #include "src/workloads/minikv.h"
 
 namespace artc {
@@ -75,4 +76,9 @@ int Main() {
 
 }  // namespace artc
 
-int main() { return artc::Main(); }
+int main() {
+  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
+  // where trace.json / metrics.json land.
+  artc::obs::ScopedObsSession obs_session;
+  return artc::Main();
+}

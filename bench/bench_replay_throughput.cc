@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/core/artc.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 #include "src/workloads/micro.h"
 #include "src/workloads/workload.h"
@@ -148,4 +149,9 @@ int Main(int argc, char** argv) {
 }  // namespace
 }  // namespace artc::bench
 
-int main(int argc, char** argv) { return artc::bench::Main(argc, argv); }
+int main(int argc, char** argv) {
+  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
+  // where trace.json / metrics.json land.
+  artc::obs::ScopedObsSession obs_session;
+  return artc::bench::Main(argc, argv);
+}

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/obs/obs.h"
 #include "src/util/thread_pool.h"
 #include "src/workloads/magritte.h"
 
@@ -106,4 +107,9 @@ int Main() {
 
 }  // namespace artc
 
-int main() { return artc::Main(); }
+int main() {
+  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
+  // where trace.json / metrics.json land.
+  artc::obs::ScopedObsSession obs_session;
+  return artc::Main();
+}

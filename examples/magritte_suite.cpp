@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/core/artc.h"
+#include "src/obs/obs.h"
 #include "src/trace/snapshot.h"
 #include "src/trace/trace_io.h"
 #include "src/workloads/magritte.h"
@@ -61,6 +62,9 @@ void RunOne(const MagritteSpec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // ARTC_TRACE_OUT=trace.json (optionally ARTC_METRICS_OUT=metrics.json)
+  // records the replay for Perfetto / chrome://tracing; see README.
+  artc::obs::ScopedObsSession obs_session;
   const char* which = argc > 1 ? argv[1] : "iphoto_import";
   if (std::strcmp(which, "--export") == 0 && argc > 2) {
     // Release the suite: one .trace + .snap pair per workload, replayable

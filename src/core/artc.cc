@@ -1,12 +1,16 @@
 #include "src/core/artc.h"
 
 #include "src/core/sim_env.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulation.h"
 
 namespace artc::core {
 
 SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
                                           const SimTarget& target) {
+  if (target.obs) {
+    obs::Enable();
+  }
   sim::Simulation sim(target.seed, target.sim_backend);
   storage::StorageStack stack(&sim, target.storage);
   vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile(target.fs_profile),
@@ -31,11 +35,15 @@ SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
   });
   result.sim_end_time = sim.Run();
   result.sim_switches = sim.switch_count();
+  result.storage = stack.Counters();
   return result;
 }
 
 MultiReplayResult ReplayConcurrentlyOnSimTarget(
     const std::vector<const CompiledBenchmark*>& benches, const SimTarget& target) {
+  if (target.obs) {
+    obs::Enable();
+  }
   sim::Simulation sim(target.seed, target.sim_backend);
   storage::StorageStack stack(&sim, target.storage);
   vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile(target.fs_profile),

@@ -33,6 +33,11 @@ struct SimTarget {
   sim::SimBackend sim_backend = sim::DefaultSimBackend();
   bool drop_caches_after_init = true;
   bool delta_init = false;
+  // Turns on the process-wide observability switch (obs::Enable) for this
+  // replay, so instrumented spans/counters are collected even without
+  // ARTC_TRACE_OUT in the environment. The caller still decides where the
+  // data goes (obs::FlushOutputs or direct registry/tracer reads).
+  bool obs = false;
 };
 
 struct SimReplayResult {
@@ -44,6 +49,9 @@ struct SimReplayResult {
   // for the same seed; the throughput bench asserts exactly that.
   uint64_t sim_switches = 0;
   TimeNs sim_end_time = 0;
+  // Storage-stack counters for this run only (the obs registry accumulates
+  // process-wide): cache hits/misses, media traffic, RAID stripe balance.
+  storage::StorageCounters storage;
 };
 
 // Compiles the trace under `options` and replays it on the simulated target.

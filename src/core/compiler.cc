@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/fsmodel/resource_model.h"
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace artc::core {
@@ -289,6 +290,7 @@ class DepBuilder {
 // transitive closure of the kept edges plus thread order (inductively), so
 // the closure is unchanged.
 void PruneRedundantDeps(CompiledBenchmark* bench) {
+  ARTC_OBS_SPAN("compiler", "prune");
   const size_t n = bench->actions.size();
   const size_t threads = bench->thread_ids.size();
   if (n == 0 || threads == 0 || bench->dep_arena.empty()) {
@@ -402,6 +404,7 @@ static CompiledBenchmark CompileImpl(std::vector<trace::TraceEvent> events,
                               const trace::FsSnapshot& snapshot,
                               const fsmodel::AnnotatedTrace& ann,
                               const CompileOptions& options) {
+  ARTC_OBS_SPAN("compiler", "compile");
   ARTC_CHECK(ann.touches.size() == events.size());
   CompiledBenchmark bench;
   bench.method = options.method;

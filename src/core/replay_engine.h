@@ -26,6 +26,8 @@
 
 #include "src/core/compiled.h"
 #include "src/core/report.h"
+#include "src/obs/obs.h"
+#include "src/trace/syscalls.h"
 
 namespace artc::core {
 
@@ -45,6 +47,21 @@ struct ExecContext {
   int32_t fd = -1;      // runtime fd for the action's fd argument
   int64_t aio = -1;     // runtime aio handle for the action's aiocb argument
 };
+
+// Observability hooks on the Env concept (both optional):
+//   static constexpr obs::ClockDomain kObsClockDomain;  // default kHost
+//   uint32_t ObsCurrentTrack() const;  // calling thread's track; default the
+//                                      // dense replay thread index
+// A simulated env reports kVirtual and the current simulated thread id, so
+// replay spans land on the sim thread's named virtual-time track.
+template <typename Env>
+constexpr obs::ClockDomain ReplayObsClock() {
+  if constexpr (requires { Env::kObsClockDomain; }) {
+    return Env::kObsClockDomain;
+  } else {
+    return obs::ClockDomain::kHost;
+  }
+}
 
 template <typename Env>
 ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
@@ -66,8 +83,23 @@ ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
   }
   std::vector<ActionOutcome> outcomes(n);
 
+  constexpr obs::ClockDomain obs_clock = ReplayObsClock<Env>();
+  // Trace track per replay thread, published by each thread on startup.
+  // A waiter reads a dependency owner's entry only after acquiring that
+  // owner's issued/done flag, which the owner released after publishing, so
+  // the read is ordered without extra synchronization.
+  std::vector<uint32_t> obs_tracks(bench.thread_actions.size(), 0);
   const TimeNs start = env.Now();
   env.RunThreads(bench.thread_actions.size(), [&](size_t thread_index) {
+    [[maybe_unused]] uint32_t obs_track = 0;
+    ARTC_OBS_IF_ENABLED {
+      if constexpr (requires { env.ObsCurrentTrack(); }) {
+        obs_track = env.ObsCurrentTrack();
+      } else {
+        obs_track = static_cast<uint32_t>(thread_index);
+      }
+      obs_tracks[thread_index] = obs_track;
+    }
     for (uint32_t idx : bench.thread_actions[thread_index]) {
       const CompiledAction& a = bench.actions[idx];
       const trace::TraceEvent& ev = bench.events[idx];
@@ -78,6 +110,23 @@ ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
         if (flag.load(std::memory_order_acquire) == 0) {
           env.WaitOn(dep.event,
                      [&flag] { return flag.load(std::memory_order_acquire) != 0; });
+          ARTC_OBS_IF_ENABLED {
+            // This dependency actually stalled us: draw a flow arrow from
+            // the moment the dependency satisfied its side (issue time for
+            // issue-deps, completion for done-deps — both visible through
+            // the flag's release/acquire pair) to our wake-up here.
+            obs::Tracer& tracer = obs::DefaultTracer();
+            const ActionOutcome& dep_out = outcomes[dep.event];
+            const TimeNs dep_ts =
+                dep.kind == DepKind::kIssue ? dep_out.issue : dep_out.complete;
+            const uint64_t flow_id =
+                (static_cast<uint64_t>(dep.event) << 32) | idx;
+            tracer.FlowStart(obs_clock,
+                             obs_tracks[bench.actions[dep.event].thread_index],
+                             "replay", "dep", dep_ts, flow_id);
+            tracer.FlowEnd(obs_clock, obs_track, "replay", "dep", env.Now(),
+                           flow_id);
+          }
         }
       }
       outcomes[idx].dep_stall = env.Now() - wait_start;
@@ -118,6 +167,20 @@ ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
       // 5. Broadcast completion.
       done[idx].store(1, std::memory_order_release);
       env.Notify(idx);
+      ARTC_OBS_IF_ENABLED {
+        obs::Tracer& tracer = obs::DefaultTracer();
+        if (out.dep_stall > 0) {
+          tracer.CompleteSpan(obs_clock, obs_track, "replay", "dep_stall",
+                              wait_start, out.dep_stall);
+        }
+        tracer.CompleteSpan(obs_clock, obs_track, "replay",
+                            trace::SysName(ev.call).data(), out.issue,
+                            out.complete - out.issue, "idx",
+                            static_cast<int64_t>(idx));
+        ARTC_OBS_OBSERVE("replay.call_latency_ns", out.complete - out.issue);
+        ARTC_OBS_OBSERVE("replay.dep_stall_ns", out.dep_stall);
+        ARTC_OBS_COUNT("replay.actions", 1);
+      }
     }
   });
   const TimeNs wall = env.Now() - start;

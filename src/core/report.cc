@@ -45,6 +45,24 @@ double ReplayReport::MeanConcurrency() const {
   return static_cast<double>(TotalThreadTime()) / static_cast<double>(wall_time);
 }
 
+double ReplayReport::DepStallShare() const {
+  const double stall = static_cast<double>(total_dep_stall);
+  const double busy = static_cast<double>(TotalThreadTime());
+  return stall + busy > 0 ? stall / (stall + busy) : 0.0;
+}
+
+std::vector<double> ReplayReport::LatencyBounds() {
+  // Eight buckets per decade from 100 ns to 100 s keeps interpolated
+  // percentiles within ~15% of the true order statistic.
+  std::vector<double> bounds;
+  double b = 100.0;
+  while (b < 1e11) {
+    bounds.push_back(b);
+    b *= 1.333521432163324;  // 10^(1/8)
+  }
+  return bounds;
+}
+
 ReplayReport BuildReport(const CompiledBenchmark& bench,
                          std::vector<ActionOutcome> outcomes, TimeNs wall_time) {
   ReplayReport report;
@@ -71,6 +89,7 @@ ReplayReport BuildReport(const CompiledBenchmark& bench,
       }
     }
     TimeNs dur = out.complete - out.issue;
+    report.call_latency.Add(static_cast<double>(dur));
     size_t cat = static_cast<size_t>(trace::GetSysInfo(ev.call).category);
     report.thread_time_by_category[cat] += dur;
     report.total_dep_stall += out.dep_stall;
@@ -84,13 +103,19 @@ ReplayReport BuildReport(const CompiledBenchmark& bench,
 std::string ReplayReport::Summary() const {
   std::string s = StrFormat(
       "method=%s events=%llu failures=%llu (err->%llu ok->%llu errno->%llu) "
-      "wall=%.3fs threadtime=%.3fs concurrency=%.2f",
+      "wall=%.3fs threadtime=%.3fs concurrency=%.2f dep_stall=%.1f%%",
       ReplayMethodName(method), static_cast<unsigned long long>(total_events),
       static_cast<unsigned long long>(failed_events),
       static_cast<unsigned long long>(failed_unexpected_err),
       static_cast<unsigned long long>(failed_unexpected_ok),
       static_cast<unsigned long long>(failed_wrong_errno), ToSeconds(wall_time),
-      ToSeconds(TotalThreadTime()), MeanConcurrency());
+      ToSeconds(TotalThreadTime()), MeanConcurrency(), 100.0 * DepStallShare());
+  if (call_latency.Total() > 0) {
+    s += StrFormat(" latency_us p50=%.1f p95=%.1f p99=%.1f",
+                   call_latency.Quantile(0.50) / 1000.0,
+                   call_latency.Quantile(0.95) / 1000.0,
+                   call_latency.Quantile(0.99) / 1000.0);
+  }
   return s;
 }
 

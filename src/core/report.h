@@ -12,6 +12,7 @@
 
 #include "src/core/compiled.h"
 #include "src/trace/syscalls.h"
+#include "src/util/stats.h"
 #include "src/util/time.h"
 
 namespace artc::core {
@@ -54,6 +55,17 @@ struct ReplayReport {
   // Total time replay threads spent blocked on ordering dependencies — the
   // "stalls" visible as gaps in Fig. 9's timelines.
   TimeNs total_dep_stall = 0;
+
+  // Share of replay-thread time spent stalled on dependencies:
+  // stall / (stall + in-call thread time). High values mean the dependency
+  // graph, not the target hardware, bounds the replay.
+  double DepStallShare() const;
+
+  // Per-call latency histogram (ns), log-spaced 100 ns .. 100 s, filled by
+  // BuildReport from executed actions. Percentile queries interpolate
+  // within buckets (Histogram::Quantile).
+  static std::vector<double> LatencyBounds();
+  artc::Histogram call_latency{LatencyBounds()};
 
   std::vector<ActionOutcome> outcomes;  // per trace index
 

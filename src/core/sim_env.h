@@ -43,6 +43,16 @@ class SimReplayEnv {
   void Notify(uint32_t idx) { stripes_[idx & stripe_mask_]->NotifyAll(); }
   int64_t Execute(const trace::TraceEvent& ev, const ExecContext& ctx);
 
+  // ---- Optional obs hooks (see replay_engine.h) ----
+  // Replay timestamps are simulated time, and each replay thread is a
+  // simulated thread, so spans land on the sim thread's named virtual-time
+  // track. Called from inside the replay thread, so concurrent Replay calls
+  // sharing this env (multi-trace mode) each see their own threads.
+  static constexpr obs::ClockDomain kObsClockDomain = obs::ClockDomain::kVirtual;
+  uint32_t ObsCurrentTrack() const {
+    return static_cast<uint32_t>(sim_->CurrentThread());
+  }
+
   // Restores the benchmark's snapshot into the VFS (Sec. 4.3.2), applying
   // emulation-policy tweaks such as the /dev/random -> /dev/urandom
   // symlink. delta performs a delta init.

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 #include "src/util/interner.h"
 #include "src/util/strings.h"
@@ -843,6 +844,7 @@ class Annotator {
 
 AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot,
                              const AnnotateOptions& options) {
+  ARTC_OBS_SPAN("compiler", "annotate");
   Annotator a(t, snapshot, options);
   return a.Run();
 }

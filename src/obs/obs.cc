@@ -1,0 +1,94 @@
+#include "src/obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace artc::obs {
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace internal
+
+namespace {
+
+std::string& TraceOutStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+std::string& MetricsOutStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+}  // namespace
+
+MetricsRegistry& DefaultRegistry() {
+  // Leaked singletons: instrumentation sites cache MetricIds in function-
+  // local statics and may fire from detached threads during teardown, so the
+  // registry must outlive every static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Tracer& DefaultTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Enable() {
+  DefaultRegistry();
+  DefaultTracer();
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disable() { internal::g_enabled.store(false, std::memory_order_relaxed); }
+
+bool InitFromEnv() {
+  const char* trace_out = std::getenv("ARTC_TRACE_OUT");
+  const char* metrics_out = std::getenv("ARTC_METRICS_OUT");
+  if (trace_out != nullptr && trace_out[0] != '\0') {
+    TraceOutStorage() = trace_out;
+  }
+  if (metrics_out != nullptr && metrics_out[0] != '\0') {
+    MetricsOutStorage() = metrics_out;
+  }
+  if (!TraceOutPath().empty() || !MetricsOutPath().empty()) {
+    Enable();
+  }
+  return Enabled();
+}
+
+const std::string& TraceOutPath() { return TraceOutStorage(); }
+
+const std::string& MetricsOutPath() { return MetricsOutStorage(); }
+
+bool FlushOutputs() {
+  bool ok = true;
+  const std::string& trace_path = TraceOutPath();
+  std::string metrics_path = MetricsOutPath();
+  if (metrics_path.empty() && !trace_path.empty()) {
+    // "Alongside": derive metrics.json next to the trace file.
+    size_t slash = trace_path.find_last_of('/');
+    metrics_path = slash == std::string::npos
+                       ? "metrics.json"
+                       : trace_path.substr(0, slash + 1) + "metrics.json";
+  }
+  if (!trace_path.empty()) {
+    ok = DefaultTracer().WriteChromeJson(trace_path) && ok;
+  }
+  if (!metrics_path.empty() && Enabled()) {
+    std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (f == nullptr) {
+      ok = false;
+    } else {
+      const std::string json = DefaultRegistry().SnapshotJson();
+      ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() && ok;
+      ok = std::fclose(f) == 0 && ok;
+    }
+  }
+  return ok;
+}
+
+}  // namespace artc::obs

@@ -1,0 +1,132 @@
+// Tracer: span/instant/flow events in per-host-thread ring buffers, exported
+// as Chrome trace_event JSON (loadable in Perfetto or chrome://tracing).
+//
+// Two clock domains coexist in one file, rendered as two "processes":
+//   pid 0 "host"    — wall-clock nanoseconds since tracer construction; used
+//                     by the compile pipeline and thread-pool spans.
+//   pid 1 "virtual" — simulated nanoseconds; used by the replay engine, the
+//                     simulator, and the storage stack. Track (tid) ids in
+//                     this domain are simulated-thread ids plus a few fixed
+//                     pseudo-tracks (I/O scheduler).
+//
+// Emission is a TLS ring-buffer write: one single-entry-cache lookup plus a
+// 64-byte struct store. Rings overwrite their oldest records when full
+// (dropped_records() reports how many), so tracing never allocates or blocks
+// in steady state. Event names/categories must be string literals (the
+// records store the pointers).
+#ifndef SRC_OBS_TRACER_H_
+#define SRC_OBS_TRACER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace artc::obs {
+
+enum class ClockDomain : uint8_t { kHost = 0, kVirtual = 1 };
+
+// Fixed pseudo-track ids in the virtual domain, far above any simulated
+// thread id a real run produces.
+inline constexpr uint32_t kIoSchedulerTrack = 1u << 20;
+
+struct TraceRecord {
+  const char* name = nullptr;  // string literal
+  const char* cat = nullptr;   // string literal
+  int64_t ts_ns = 0;           // in the record's clock domain
+  int64_t dur_ns = 0;          // 'X' records only
+  uint64_t flow_id = 0;        // 's'/'f' records only
+  uint32_t track = 0;          // tid in the exported JSON
+  ClockDomain clock = ClockDomain::kHost;
+  char phase = 'i';            // 'X' span, 'i' instant, 's'/'f' flow
+  const char* arg_name = nullptr;  // optional single numeric arg
+  int64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  // ring_capacity: records retained per host thread; must be a power of two.
+  explicit Tracer(size_t ring_capacity = 1 << 16);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void Emit(const TraceRecord& rec);
+
+  // Convenience emitters.
+  void CompleteSpan(ClockDomain clock, uint32_t track, const char* cat,
+                    const char* name, int64_t ts_ns, int64_t dur_ns,
+                    const char* arg_name = nullptr, int64_t arg_value = 0);
+  void Instant(ClockDomain clock, uint32_t track, const char* cat,
+               const char* name, int64_t ts_ns);
+  void FlowStart(ClockDomain clock, uint32_t track, const char* cat,
+                 const char* name, int64_t ts_ns, uint64_t flow_id);
+  void FlowEnd(ClockDomain clock, uint32_t track, const char* cat,
+               const char* name, int64_t ts_ns, uint64_t flow_id);
+
+  // Host-clock helpers. Track ids in the host domain are dense per-thread
+  // ids in ring-registration order.
+  int64_t HostNowNs() const;
+  uint32_t CurrentHostTrack();
+
+  // Names a track ("thread_name" metadata in the export).
+  void SetTrackName(ClockDomain clock, uint32_t track, const std::string& name);
+
+  // Export. Records from all rings are merged and sorted by timestamp.
+  // Call when no thread is concurrently emitting.
+  std::vector<TraceRecord> Records() const;
+  std::string ToChromeJson() const;
+  bool WriteChromeJson(const std::string& path) const;
+
+  // Total records overwritten because a ring wrapped.
+  uint64_t dropped_records() const;
+
+  // Drops all recorded events (rings stay registered).
+  void Clear();
+
+ private:
+  struct Ring {
+    explicit Ring(size_t capacity) : buf(capacity) {}
+    std::vector<TraceRecord> buf;
+    uint64_t head = 0;  // total records ever emitted on this ring
+    uint32_t track = 0; // host-domain track id
+  };
+
+  Ring* LocalRing();
+  Ring* RegisterRing();
+
+  const uint64_t id_;  // process-unique tracer id for the TLS cache
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::map<std::pair<uint8_t, uint32_t>, std::string> track_names_;
+};
+
+// RAII host-clock span: records a complete 'X' event on the calling host
+// thread's track when destroyed. Construct only when tracing is enabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* cat, const char* name)
+      : tracer_(tracer), cat_(cat), name_(name), start_(tracer->HostNowNs()) {}
+  ~ScopedSpan() {
+    tracer_->CompleteSpan(ClockDomain::kHost, tracer_->CurrentHostTrack(), cat_,
+                          name_, start_, tracer_->HostNowNs() - start_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* cat_;
+  const char* name_;
+  int64_t start_;
+};
+
+}  // namespace artc::obs
+
+#endif  // SRC_OBS_TRACER_H_

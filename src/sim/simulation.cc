@@ -2,6 +2,7 @@
 
 #include <exception>
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace artc::sim {
@@ -118,6 +119,12 @@ SimThreadId Simulation::Spawn(std::string name, std::function<void()> body) {
   ThreadState* raw = t.get();
   threads_.push_back(std::move(t));
   ready_.push_back(raw);
+  ARTC_OBS_IF_ENABLED {
+    // Label the simulated thread's virtual-time track ("replay-3", "init",
+    // ...) so trace viewers show sim thread names, not bare ids.
+    obs::DefaultTracer().SetTrackName(obs::ClockDomain::kVirtual, raw->id,
+                                      raw->name);
+  }
   if (backend_ == SimBackend::kThreads) {
     raw->host = std::thread([this, raw] { HostThreadMain(raw); });
   }
@@ -208,6 +215,10 @@ ThreadState* Simulation::PickReady() {
 
 void Simulation::RunThread(ThreadState* t) {
   switches_++;
+  ARTC_OBS_COUNT("sim.context_switches", 1);
+  // Depth includes the thread being dispatched, so an idle simulation with
+  // one runnable thread observes 1, matching run-queue-depth convention.
+  ARTC_OBS_OBSERVE("sim.run_queue_depth", ready_.size() + 1);
   t->state = ThreadState::Run::kRunning;
   if (backend_ == SimBackend::kFibers) {
     FiberSwitchTo(t);

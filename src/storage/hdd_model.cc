@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace artc::storage {
@@ -67,6 +68,7 @@ void HddModel::Submit(BlockRequest req) {
   ARTC_CHECK(req.done != nullptr);
   ARTC_CHECK(req.lba + req.nblocks <= params_.capacity_blocks);
   pending_.push_back(std::move(req));
+  ARTC_OBS_OBSERVE("hdd.queue_depth", pending_.size() + (busy_ ? 1 : 0));
   if (!busy_) {
     StartNext();
   }
@@ -92,6 +94,8 @@ void HddModel::StartNext() {
   }
   BlockRequest req = std::move(pending_[best]);
   pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(best));
+  ARTC_OBS_OBSERVE("hdd.seek_distance_blocks",
+                   req.lba > head_ ? req.lba - head_ : head_ - req.lba);
   TimeNs t = ServiceTime(now, head_, req.lba, req.nblocks);
   total_positioning_ += ServiceTime(now, head_, req.lba, 0);
   serviced_++;

@@ -1,11 +1,17 @@
 #include "src/storage/io_scheduler.h"
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace artc::storage {
 
 CfqScheduler::CfqScheduler(sim::Simulation* simulation, BlockDevice* device, CfqParams params)
-    : sim_(simulation), device_(device), params_(params) {}
+    : sim_(simulation), device_(device), params_(params) {
+  ARTC_OBS_IF_ENABLED {
+    obs::DefaultTracer().SetTrackName(obs::ClockDomain::kVirtual,
+                                      obs::kIoSchedulerTrack, "io-scheduler");
+  }
+}
 
 CfqScheduler::Queue* CfqScheduler::FindQueue(uint32_t issuer) {
   auto it = queues_.find(issuer);
@@ -81,7 +87,26 @@ void CfqScheduler::SwitchQueue() {
     has_active_ = true;
     slice_end_ = sim_->Now() + params_.slice_sync;
     context_switches_++;
+    ARTC_OBS_COUNT("cfq.context_switches", 1);
   }
+}
+
+void CfqScheduler::SubmitToDevice(BlockRequest req, uint32_t issuer) {
+  auto done = std::move(req.done);
+  [[maybe_unused]] TimeNs dispatch_start = sim_->Now();
+  req.done = [this, issuer, dispatch_start, done = std::move(done)] {
+    ARTC_OBS_IF_ENABLED {
+      obs::DefaultTracer().CompleteSpan(
+          obs::ClockDomain::kVirtual, obs::kIoSchedulerTrack, "storage",
+          issuer == kAsyncIssuer ? "dispatch_async" : "dispatch",
+          dispatch_start, sim_->Now() - dispatch_start, "issuer",
+          static_cast<int64_t>(issuer));
+    }
+    done();
+    OnComplete(issuer);
+  };
+  device_busy_ = true;
+  device_->Submit(std::move(req));
 }
 
 void CfqScheduler::Dispatch() {
@@ -103,13 +128,7 @@ void CfqScheduler::Dispatch() {
       BlockRequest req = std::move(q->requests.front());
       q->requests.pop_front();
       uint32_t issuer = req.issuer;
-      auto done = std::move(req.done);
-      req.done = [this, issuer, done = std::move(done)] {
-        done();
-        OnComplete(issuer);
-      };
-      device_busy_ = true;
-      device_->Submit(std::move(req));
+      SubmitToDevice(std::move(req), issuer);
       return;
     }
     // Active queue is dry: anticipate (idle) unless the slice already ended.
@@ -120,13 +139,7 @@ void CfqScheduler::Dispatch() {
         if (rr_.empty() && !async_.empty()) {
           BlockRequest req = std::move(async_.front());
           async_.pop_front();
-          auto done = std::move(req.done);
-          req.done = [this, done = std::move(done)] {
-            done();
-            OnComplete(kAsyncIssuer);
-          };
-          device_busy_ = true;
-          device_->Submit(std::move(req));
+          SubmitToDevice(std::move(req), kAsyncIssuer);
           return;
         }
         StartIdleTimer();
@@ -142,13 +155,7 @@ void CfqScheduler::Dispatch() {
   if (!async_.empty()) {
     BlockRequest req = std::move(async_.front());
     async_.pop_front();
-    auto done = std::move(req.done);
-    req.done = [this, done = std::move(done)] {
-      done();
-      OnComplete(kAsyncIssuer);
-    };
-    device_busy_ = true;
-    device_->Submit(std::move(req));
+    SubmitToDevice(std::move(req), kAsyncIssuer);
   }
 }
 

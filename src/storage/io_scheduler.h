@@ -58,6 +58,10 @@ class CfqScheduler : public IoScheduler {
   };
 
   void Dispatch();                 // dispatch next request if device idle
+  // Hands one request to the device, wrapping its completion to re-enter the
+  // scheduler (and, when tracing, to emit the dispatch span on the
+  // io-scheduler pseudo-track).
+  void SubmitToDevice(BlockRequest req, uint32_t issuer);
   void OnComplete(uint32_t issuer);
   void SwitchQueue();              // rotate to the next busy context
   void StartIdleTimer();

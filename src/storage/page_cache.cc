@@ -1,5 +1,6 @@
 #include "src/storage/page_cache.h"
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 
 namespace artc::storage {
@@ -9,6 +10,16 @@ PageCache::PageCache(sim::Simulation* simulation, IoScheduler* scheduler,
     : sim_(simulation), scheduler_(scheduler), params_(params) {
   (void)sim_;
   (void)scheduler_;
+}
+
+void PageCache::CountHit(uint32_t nblocks) {
+  hit_blocks_ += nblocks;
+  ARTC_OBS_COUNT("page_cache.hit_blocks", nblocks);
+}
+
+void PageCache::CountMiss(uint32_t nblocks) {
+  miss_blocks_ += nblocks;
+  ARTC_OBS_COUNT("page_cache.miss_blocks", nblocks);
 }
 
 bool PageCache::Resident(uint64_t lba, uint32_t nblocks) const {
@@ -87,6 +98,8 @@ std::vector<uint64_t> PageCache::CollectDirty(uint64_t lba, uint32_t nblocks) {
       out.push_back(b);
     }
   }
+  writeback_blocks_ += out.size();
+  ARTC_OBS_COUNT("page_cache.writeback_blocks", out.size());
   return out;
 }
 
@@ -101,6 +114,8 @@ std::vector<uint64_t> PageCache::CollectOldestDirty(uint32_t max_blocks) {
       out.push_back(*it);
     }
   }
+  writeback_blocks_ += out.size();
+  ARTC_OBS_COUNT("page_cache.writeback_blocks", out.size());
   return out;
 }
 
@@ -111,6 +126,7 @@ bool PageCache::OverDirtyLimit() const {
 
 std::vector<uint64_t> PageCache::EvictToCapacity() {
   std::vector<uint64_t> dirty_evicted;
+  const uint64_t before = map_.size();
   while (map_.size() > params_.capacity_blocks) {
     // Prefer the oldest clean block; if the tail is dirty, it must be
     // written out by the caller before the space can be reused.
@@ -123,6 +139,13 @@ std::vector<uint64_t> PageCache::EvictToCapacity() {
     }
     lru_.pop_back();
     map_.erase(it);
+  }
+  const uint64_t evicted = before - map_.size();
+  if (evicted > 0) {
+    evicted_blocks_ += evicted;
+    writeback_blocks_ += dirty_evicted.size();
+    ARTC_OBS_COUNT("page_cache.evicted_blocks", evicted);
+    ARTC_OBS_COUNT("page_cache.writeback_blocks", dirty_evicted.size());
   }
   return dirty_evicted;
 }

@@ -54,8 +54,10 @@ class PageCache {
   uint64_t ResidentCount() const { return map_.size(); }
   uint64_t HitBlocks() const { return hit_blocks_; }
   uint64_t MissBlocks() const { return miss_blocks_; }
-  void CountHit(uint32_t nblocks) { hit_blocks_ += nblocks; }
-  void CountMiss(uint32_t nblocks) { miss_blocks_ += nblocks; }
+  uint64_t EvictedBlocks() const { return evicted_blocks_; }
+  uint64_t WritebackBlocks() const { return writeback_blocks_; }
+  void CountHit(uint32_t nblocks);
+  void CountMiss(uint32_t nblocks);
 
   const PageCacheParams& params() const { return params_; }
 
@@ -81,6 +83,8 @@ class PageCache {
   uint64_t dirty_count_ = 0;
   uint64_t hit_blocks_ = 0;
   uint64_t miss_blocks_ = 0;
+  uint64_t evicted_blocks_ = 0;
+  uint64_t writeback_blocks_ = 0;
 };
 
 }  // namespace artc::storage

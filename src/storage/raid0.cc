@@ -16,6 +16,8 @@ Raid0::Raid0(std::vector<std::unique_ptr<BlockDevice>> members, uint32_t chunk_b
     min_cap = std::min(min_cap, m->CapacityBlocks());
   }
   capacity_ = min_cap * members_.size();
+  member_read_blocks_.resize(members_.size(), 0);
+  member_write_blocks_.resize(members_.size(), 0);
 }
 
 size_t Raid0::Inflight() const {
@@ -53,6 +55,8 @@ void Raid0::Submit(BlockRequest req) {
   auto outstanding = std::make_shared<size_t>(pieces.size());
   auto done = std::make_shared<std::function<void()>>(std::move(req.done));
   for (const Piece& p : pieces) {
+    (req.is_write ? member_write_blocks_ : member_read_blocks_)[p.member] +=
+        p.nblocks;
     BlockRequest sub;
     sub.lba = p.member_lba;
     sub.nblocks = p.nblocks;

@@ -23,10 +23,20 @@ class Raid0 : public BlockDevice {
 
   size_t MemberCount() const { return members_.size(); }
 
+  // Per-member blocks routed (stripe-balance diagnostics); index = member.
+  const std::vector<uint64_t>& MemberReadBlocks() const {
+    return member_read_blocks_;
+  }
+  const std::vector<uint64_t>& MemberWriteBlocks() const {
+    return member_write_blocks_;
+  }
+
  private:
   std::vector<std::unique_ptr<BlockDevice>> members_;
   uint32_t chunk_blocks_;
   uint64_t capacity_;
+  std::vector<uint64_t> member_read_blocks_;
+  std::vector<uint64_t> member_write_blocks_;
 };
 
 }  // namespace artc::storage

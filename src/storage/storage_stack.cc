@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
 #include "src/storage/raid0.h"
 #include "src/util/check.h"
 
@@ -86,14 +87,19 @@ void StorageStack::BlockingIo(uint64_t lba, uint32_t nblocks, bool is_write, uin
     done = true;
     cv.NotifyAll();
   };
+  ARTC_OBS_GAUGE_ADD("storage.inflight_requests", 1);
+  ARTC_OBS_OBSERVE("storage.request_blocks", nblocks);
   scheduler_->Submit(std::move(req));
   while (!done) {
     cv.Wait();
   }
+  ARTC_OBS_GAUGE_ADD("storage.inflight_requests", -1);
   if (is_write) {
     media_write_blocks_ += nblocks;
+    ARTC_OBS_COUNT("storage.media_write_blocks", nblocks);
   } else {
     media_read_blocks_ += nblocks;
+    ARTC_OBS_COUNT("storage.media_read_blocks", nblocks);
   }
 }
 
@@ -204,6 +210,26 @@ void StorageStack::Flush(const std::vector<std::pair<uint64_t, uint32_t>>& range
 
 void StorageStack::Discard(uint64_t lba, uint32_t nblocks) {
   cache_->Invalidate(lba, nblocks);
+}
+
+StorageCounters StorageStack::Counters() const {
+  StorageCounters c;
+  c.cache_hit_blocks = cache_->HitBlocks();
+  c.cache_miss_blocks = cache_->MissBlocks();
+  c.cache_evicted_blocks = cache_->EvictedBlocks();
+  c.cache_writeback_blocks = cache_->WritebackBlocks();
+  c.media_read_blocks = media_read_blocks_;
+  c.media_write_blocks = media_write_blocks_;
+  if (config_.scheduler == SchedulerKind::kCfq) {
+    c.cfq_context_switches =
+        static_cast<const CfqScheduler&>(*scheduler_).ContextSwitches();
+  }
+  if (config_.raid_members > 1) {
+    const auto& raid = static_cast<const Raid0&>(*top_device_);
+    c.raid_member_read_blocks = raid.MemberReadBlocks();
+    c.raid_member_write_blocks = raid.MemberWriteBlocks();
+  }
+  return c;
 }
 
 }  // namespace artc::storage

@@ -41,6 +41,22 @@ struct StorageConfig {
 //   "hdd", "raid0", "ssd", "smallcache", "cfq-1ms", "cfq-100ms"
 StorageConfig MakeNamedConfig(const std::string& name);
 
+// Per-stack counter snapshot (this stack only, unlike the process-wide
+// obs::MetricsRegistry): cache traffic, media traffic, scheduler switches,
+// and — for RAID-0 targets — per-member block routing for stripe-balance
+// diagnostics. The raid vectors are empty on single-device stacks.
+struct StorageCounters {
+  uint64_t cache_hit_blocks = 0;
+  uint64_t cache_miss_blocks = 0;
+  uint64_t cache_evicted_blocks = 0;
+  uint64_t cache_writeback_blocks = 0;
+  uint64_t media_read_blocks = 0;
+  uint64_t media_write_blocks = 0;
+  uint64_t cfq_context_switches = 0;
+  std::vector<uint64_t> raid_member_read_blocks;
+  std::vector<uint64_t> raid_member_write_blocks;
+};
+
 class StorageStack {
  public:
   StorageStack(sim::Simulation* simulation, const StorageConfig& config);
@@ -75,6 +91,8 @@ class StorageStack {
   // Total blocks read from / written to media (not cache).
   uint64_t MediaReadBlocks() const { return media_read_blocks_; }
   uint64_t MediaWriteBlocks() const { return media_write_blocks_; }
+
+  StorageCounters Counters() const;
 
  private:
   // Submits one device request on behalf of the current simulated thread and

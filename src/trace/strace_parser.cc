@@ -4,6 +4,7 @@
 #include <fstream>
 #include <vector>
 
+#include "src/obs/obs.h"
 #include "src/util/check.h"
 #include "src/util/strings.h"
 
@@ -553,6 +554,7 @@ bool ParseStraceLine(std::string_view line, TraceEvent* out, std::string* error)
 }
 
 StraceParseResult ParseStrace(std::istream& in) {
+  ARTC_OBS_SPAN("compiler", "parse");
   StraceParseResult result;
   std::string line;
   while (std::getline(in, line)) {

@@ -7,6 +7,20 @@
 
 namespace artc {
 
+SampleStats::SampleStats(const SampleStats& other) { *this = other; }
+
+SampleStats& SampleStats::operator=(const SampleStats& other) {
+  if (this != &other) {
+    // Lock the source so a concurrent lazy sort cannot shuffle samples_ out
+    // from under the copy. The mutex itself is per-instance, not copied.
+    std::lock_guard<std::mutex> lock(other.mu_);
+    samples_ = other.samples_;
+    sum_ = other.sum_;
+    sorted_ = other.sorted_;
+  }
+  return *this;
+}
+
 void SampleStats::Add(double v) {
   samples_.push_back(v);
   sum_ += v;
@@ -20,17 +34,20 @@ double SampleStats::Mean() const {
 
 double SampleStats::Min() const {
   ARTC_CHECK(!samples_.empty());
+  std::lock_guard<std::mutex> lock(mu_);
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::Max() const {
   ARTC_CHECK(!samples_.empty());
+  std::lock_guard<std::mutex> lock(mu_);
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::Stddev() const {
   ARTC_CHECK(!samples_.empty());
   const double mean = Mean();
+  std::lock_guard<std::mutex> lock(mu_);
   double acc = 0;
   for (double v : samples_) {
     acc += (v - mean) * (v - mean);
@@ -38,7 +55,7 @@ double SampleStats::Stddev() const {
   return std::sqrt(acc / static_cast<double>(samples_.size()));
 }
 
-void SampleStats::Sort() const {
+void SampleStats::SortLocked() const {
   if (!sorted_) {
     auto& mut = const_cast<std::vector<double>&>(samples_);
     std::sort(mut.begin(), mut.end());
@@ -49,7 +66,8 @@ void SampleStats::Sort() const {
 double SampleStats::Percentile(double q) const {
   ARTC_CHECK(!samples_.empty());
   ARTC_CHECK(q >= 0.0 && q <= 1.0);
-  Sort();
+  std::lock_guard<std::mutex> lock(mu_);
+  SortLocked();
   if (samples_.size() == 1) {
     return samples_[0];
   }
@@ -62,7 +80,8 @@ double SampleStats::Percentile(double q) const {
 
 double SampleStats::TailMean(double q) const {
   ARTC_CHECK(!samples_.empty());
-  Sort();
+  std::lock_guard<std::mutex> lock(mu_);
+  SortLocked();
   const size_t start = static_cast<size_t>(q * static_cast<double>(samples_.size()));
   const size_t first = std::min(start, samples_.size() - 1);
   double acc = 0;
@@ -89,6 +108,30 @@ double Histogram::BucketUpperBound(size_t i) const {
     return bounds_[i];
   }
   return std::numeric_limits<double>::infinity();
+}
+
+double Histogram::Quantile(double q) const {
+  ARTC_CHECK(total_ > 0);
+  ARTC_CHECK(q >= 0.0 && q <= 1.0);
+  const double target = q * static_cast<double>(total_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const double next = static_cast<double>(cum + counts_[i]);
+    if (next >= target) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i >= bounds_.size()) {
+        return lower;  // overflow bucket: no upper edge to interpolate to
+      }
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(counts_[i]);
+      return lower + frac * (bounds_[i] - lower);
+    }
+    cum += counts_[i];
+  }
+  return BucketUpperBound(counts_.size() - 1);
 }
 
 }  // namespace artc

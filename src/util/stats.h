@@ -4,14 +4,25 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace artc {
 
 // Accumulates samples and answers summary queries. Stores all samples, so
 // only suitable for the sample counts seen here (<= millions).
+//
+// Thread safety: Add() requires external synchronization, but all const
+// queries are safe to call concurrently with each other. That is not
+// automatic — Percentile/TailMean sort the sample buffer lazily, a hidden
+// mutation other const readers must not observe mid-shuffle — so every
+// query that touches the buffer serializes on an internal mutex.
 class SampleStats {
  public:
+  SampleStats() = default;
+  SampleStats(const SampleStats& other);
+  SampleStats& operator=(const SampleStats& other);
+
   void Add(double v);
   size_t Count() const { return samples_.size(); }
   double Sum() const { return sum_; }
@@ -23,12 +34,15 @@ class SampleStats {
   double Percentile(double q) const;
   // Mean of the samples at or above the q-quantile (tail mean).
   double TailMean(double q) const;
+  // The raw buffer; ordering changes after the first Percentile/TailMean
+  // call. Do not call concurrently with them.
   const std::vector<double>& Samples() const { return samples_; }
 
  private:
-  void Sort() const;
+  void SortLocked() const;  // caller holds mu_
   std::vector<double> samples_;
   double sum_ = 0;
+  mutable std::mutex mu_;   // guards samples_ order + sorted_ during queries
   mutable bool sorted_ = true;
 };
 
@@ -41,6 +55,10 @@ class Histogram {
   uint64_t BucketValue(size_t i) const { return counts_[i]; }
   double BucketUpperBound(size_t i) const;
   uint64_t Total() const { return total_; }
+  // Value at quantile q in [0, 1], interpolated linearly within the
+  // containing bucket. The overflow bucket has no upper bound, so quantiles
+  // landing there clamp to its lower edge. Requires at least one sample.
+  double Quantile(double q) const;
 
  private:
   std::vector<double> bounds_;  // ascending; final bucket is overflow

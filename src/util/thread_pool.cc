@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/obs.h"
+
 namespace artc::util {
 
 ThreadPool::ThreadPool(size_t workers) {
@@ -29,6 +31,8 @@ void ThreadPool::Submit(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
+    ARTC_OBS_COUNT("threadpool.tasks_submitted", 1);
+    ARTC_OBS_OBSERVE("threadpool.queue_depth", queue_.size());
   }
   work_cv_.notify_one();
 }
@@ -49,7 +53,9 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     active_++;
     lock.unlock();
+    ARTC_OBS_GAUGE_ADD("threadpool.active_workers", 1);
     fn();
+    ARTC_OBS_GAUGE_ADD("threadpool.active_workers", -1);
     lock.lock();
     active_--;
     if (queue_.empty() && active_ == 0) {

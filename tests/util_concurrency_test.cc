@@ -1,7 +1,8 @@
 // Concurrency tests for the host-level utilities the parallel suite runner
 // leans on: StringInterner under concurrent interning (real std::thread, so
-// the TSan CI job exercises the locking) and ThreadPool shutdown/drain
-// semantics.
+// the TSan CI job exercises the locking), ThreadPool shutdown/drain
+// semantics, and SampleStats concurrent const queries (the lazy sort is a
+// hidden mutation that must be serialized internally).
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "src/util/interner.h"
+#include "src/util/stats.h"
 #include "src/util/thread_pool.h"
 
 namespace artc::util {
@@ -110,6 +112,69 @@ TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   for (size_t i = 0; i < kN; ++i) {
     ASSERT_EQ(hits[i].load(), 1) << "index " << i;
   }
+}
+
+TEST(SampleStats, ConcurrentQueriesAreRaceFree) {
+  // Percentile/TailMean sort the sample buffer lazily on first use. Many
+  // threads issuing const queries at once — including the very first one —
+  // must agree on the answers and must not race on the hidden sort (TSan
+  // verifies the latter in CI).
+  artc::SampleStats stats;
+  constexpr int kSamples = 10000;
+  for (int i = kSamples - 1; i >= 0; --i) {  // reverse order: sort must run
+    stats.Add(static_cast<double>(i));
+  }
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int iter = 0; iter < 50; ++iter) {
+        bool ok = stats.Min() == 0.0 && stats.Max() == kSamples - 1 &&
+                  stats.Percentile(0.0) == 0.0 &&
+                  stats.Percentile(1.0) == kSamples - 1 &&
+                  stats.Percentile(0.5) == (kSamples - 1) / 2.0 &&
+                  stats.TailMean(0.5) > stats.Mean() && stats.Stddev() > 0.0;
+        if (!ok) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SampleStats, CopyWhileQueriedStaysConsistent) {
+  // Copying snapshots the source under its lock, so copies taken while other
+  // threads are sorting/querying see a complete sample set.
+  artc::SampleStats stats;
+  constexpr int kSamples = 4096;
+  for (int i = kSamples - 1; i >= 0; --i) {
+    stats.Add(static_cast<double>(i));
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int iter = 0; iter < 50; ++iter) {
+        if (t % 2 == 0) {
+          artc::SampleStats copy = stats;
+          if (copy.Count() != kSamples || copy.Percentile(1.0) != kSamples - 1) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (stats.Percentile(0.25) < 0.0) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace
