@@ -1,0 +1,206 @@
+#include "src/check/generator.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/storage/storage_stack.h"
+#include "src/trace/syscalls.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+#include "src/vfs/vfs.h"
+
+namespace artc::check {
+namespace {
+
+using trace::kOpenAppend;
+using trace::kOpenCreate;
+using trace::kOpenExcl;
+using trace::kOpenRead;
+using trace::kOpenTrunc;
+using trace::kOpenWrite;
+
+constexpr uint32_t kFlagSets[] = {
+    kOpenRead,
+    kOpenWrite | kOpenCreate,
+    kOpenRead | kOpenWrite | kOpenCreate,
+    kOpenWrite | kOpenCreate | kOpenExcl,
+    kOpenWrite | kOpenCreate | kOpenTrunc,
+    kOpenWrite | kOpenCreate | kOpenAppend,
+};
+
+struct PathPools {
+  std::vector<std::string> files;   // open/read/write/unlink/rename/link targets
+  std::vector<std::string> dirish;  // mkdir/rmdir targets (collide with files)
+};
+
+struct OwnedFd {
+  int32_t fd;
+  uint32_t flags;
+};
+
+// One worker's op stream. Every op body runs under `mu`, so recorded call
+// windows never overlap across threads (see generator.h).
+void WorkerBody(vfs::Vfs& fs, sim::Simulation& sim, sim::SimMutex& mu,
+                const PathPools& pools, const GenOptions& opt, Rng rng) {
+  std::vector<OwnedFd> fds;
+
+  auto pick_fd = [&](uint32_t need_flags) -> int32_t {
+    std::vector<size_t> eligible;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].flags & need_flags) == need_flags) {
+        eligible.push_back(i);
+      }
+    }
+    if (eligible.empty()) {
+      return -1;
+    }
+    return fds[eligible[rng.NextBelow(eligible.size())]].fd;
+  };
+  auto file_path = [&] { return pools.files[rng.NextBelow(pools.files.size())]; };
+  auto dir_path = [&] { return pools.dirish[rng.NextBelow(pools.dirish.size())]; };
+
+  for (uint32_t k = 0; k < opt.ops_per_thread; ++k) {
+    sim.Sleep(Us(1 + rng.NextBelow(40)));
+    sim::SimLockGuard guard(mu);
+    uint32_t dice = rng.NextBelow(100);
+    uint64_t count = 1 + rng.NextBelow(8192);
+    int64_t offset = static_cast<int64_t>(rng.NextBelow(16384));
+
+    if (dice < 12 && !fds.empty()) {  // close
+      size_t i = rng.NextBelow(fds.size());
+      fs.Close(fds[i].fd);
+      fds[i] = fds.back();
+      fds.pop_back();
+      continue;
+    }
+    if (dice < 22) {  // read / pread
+      int32_t fd = pick_fd(kOpenRead);
+      if (fd >= 0) {
+        if (dice % 2 == 0) {
+          fs.Read(fd, count);
+        } else {
+          fs.Pread(fd, count, offset);
+        }
+        continue;
+      }
+    }
+    if (dice < 32) {  // write / pwrite
+      int32_t fd = pick_fd(kOpenWrite);
+      if (fd >= 0) {
+        if (dice % 2 == 0) {
+          fs.Write(fd, count);
+        } else {
+          fs.Pwrite(fd, count, offset);
+        }
+        continue;
+      }
+    }
+    if (dice < 34) {  // fsync
+      int32_t fd = pick_fd(0);
+      if (fd >= 0) {
+        fs.Fsync(fd);
+        continue;
+      }
+    }
+    if (dice < 42) {  // mkdir
+      fs.Mkdir(dir_path());
+      continue;
+    }
+    if (dice < 46) {  // rmdir
+      fs.Rmdir(dir_path());
+      continue;
+    }
+    if (dice < 54) {  // unlink
+      fs.Unlink(file_path());
+      continue;
+    }
+    if (dice < 60) {  // rename
+      fs.Rename(file_path(), file_path());
+      continue;
+    }
+    if (dice < 64) {  // link
+      fs.Link(file_path(), file_path());
+      continue;
+    }
+    if (dice < 67) {  // stat
+      fs.Stat(file_path());
+      continue;
+    }
+    // open (also the fallback when an fd-based op found no usable fd)
+    uint32_t flags = kFlagSets[rng.NextBelow(std::size(kFlagSets))];
+    vfs::VfsResult r = fs.Open(file_path(), flags);
+    if (r.ok()) {
+      fds.push_back({static_cast<int32_t>(r.value), flags});
+    }
+  }
+  // Retire remaining fds, one op per lock hold like everything else.
+  while (!fds.empty()) {
+    sim.Sleep(Us(1 + rng.NextBelow(10)));
+    sim::SimLockGuard guard(mu);
+    fs.Close(fds.back().fd);
+    fds.pop_back();
+  }
+}
+
+}  // namespace
+
+trace::TraceBundle GenerateTrace(const GenOptions& opt) {
+  ARTC_CHECK(opt.threads > 0 && opt.dirs > 0 && opt.files_per_dir > 0);
+  sim::Simulation sim(opt.seed);
+  storage::StorageStack stack(&sim, storage::MakeNamedConfig(opt.storage));
+  vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile(opt.fs_profile));
+
+  PathPools pools;
+  for (uint32_t d = 0; d < opt.dirs; ++d) {
+    std::string dir = StrFormat("/d%u", d);
+    pools.dirish.push_back(dir);
+    for (uint32_t f = 0; f < opt.files_per_dir; ++f) {
+      pools.files.push_back(StrFormat("%s/f%u", dir.c_str(), f));
+    }
+  }
+  // Collision names: used as mkdir/rmdir AND open/unlink/rename targets, so
+  // the same literal path flips between file and directory bindings.
+  for (uint32_t d = 0; d < opt.dirs; ++d) {
+    std::string both = StrFormat("/d%u/x", d);
+    pools.files.push_back(both);
+    pools.dirish.push_back(both);
+  }
+
+  trace::TraceBundle bundle;
+  vfs::TraceRecorder recorder(&bundle.trace);
+
+  sim.Spawn("gen-harness", [&] {
+    for (uint32_t d = 0; d < opt.dirs; ++d) {
+      fs.MustMkdirAll(StrFormat("/d%u", d));
+    }
+    for (size_t i = 0; i < pools.files.size(); i += 2) {
+      fs.MustCreateFile(pools.files[i], (i + 1) * 3000);
+    }
+    bundle.snapshot = fs.CaptureSnapshot();
+    stack.DropCaches();
+    fs.StartTracing(&recorder);
+
+    sim::SimMutex mu(&sim);
+    Rng master(opt.seed * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL);
+    std::vector<sim::SimThreadId> workers;
+    workers.reserve(opt.threads);
+    for (uint32_t t = 0; t < opt.threads; ++t) {
+      Rng worker_rng = master.Fork();
+      workers.push_back(sim.Spawn(StrFormat("gen-%u", t), [&, worker_rng] {
+        WorkerBody(fs, sim, mu, pools, opt, worker_rng);
+      }));
+    }
+    for (sim::SimThreadId w : workers) {
+      sim.Join(w);
+    }
+    fs.StopTracing();
+  });
+  sim.Run();
+  ARTC_CHECK_MSG(sim.UnfinishedThreads() == 0, "trace generator deadlocked");
+  bundle.trace.SortByEnterTime();
+  return bundle;
+}
+
+}  // namespace artc::check

@@ -1,0 +1,44 @@
+// Property-based random trace generator for the checking harness.
+//
+// Runs a randomized multi-threaded workload on a real simulated VFS with
+// tracing enabled and returns the recorded trace plus the pre-workload
+// snapshot as one bundle. Two design points matter:
+//
+//  * Path collisions are the point. All threads draw from one small shared
+//    pool of names (files, directories, and names used as BOTH — mkdir
+//    targets colliding with open/unlink targets), so create/delete/rename
+//    races on the same name are common and the name rule is load-bearing in
+//    the compiled dependency graph.
+//  * The recorded trace is sequentially consistent by construction: every
+//    operation runs under one global simulated mutex, so no two call
+//    windows overlap and sorting by enter time reproduces the execution
+//    order exactly. A trace like this annotates with zero model warnings
+//    and replays with zero return mismatches under ANY legal schedule —
+//    which is precisely the property the explorer then tests. Concurrency
+//    stress comes from the multi-schedule replay, not from racing the
+//    recorder.
+#ifndef SRC_CHECK_GENERATOR_H_
+#define SRC_CHECK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/trace/trace_io.h"
+
+namespace artc::check {
+
+struct GenOptions {
+  uint64_t seed = 1;
+  uint32_t threads = 4;
+  uint32_t ops_per_thread = 24;
+  uint32_t dirs = 2;           // "/d0", "/d1", ...
+  uint32_t files_per_dir = 3;  // "/d0/f0" ... ; half pre-bound in the snapshot
+  std::string storage = "ssd";
+  std::string fs_profile = "ext4";
+};
+
+trace::TraceBundle GenerateTrace(const GenOptions& opt);
+
+}  // namespace artc::check
+
+#endif  // SRC_CHECK_GENERATOR_H_

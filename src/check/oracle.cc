@@ -1,0 +1,48 @@
+#include "src/check/oracle.h"
+
+#include "src/util/strings.h"
+
+namespace artc::check {
+
+OracleFindings CheckSchedule(const RefModel& model, const trace::Trace& t,
+                             const core::ReplayReport& report) {
+  OracleFindings out;
+  out.ret_mismatches = report.failed_events;
+  if (out.ret_mismatches > 0 && out.first_violation.empty()) {
+    out.first_violation = StrFormat("%llu replayed returns diverge from the trace",
+                                    static_cast<unsigned long long>(out.ret_mismatches));
+  }
+  const auto& outcomes = report.outcomes;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (!outcomes[i].executed) {
+      out.unexecuted++;
+      if (out.first_violation.empty()) {
+        out.first_violation = StrFormat("action %zu never executed", i);
+      }
+    }
+  }
+  for (const HbEdge& e : model.edges) {
+    if (e.before >= outcomes.size() || e.after >= outcomes.size()) {
+      continue;  // model built from a longer trace than was replayed
+    }
+    const core::ActionOutcome& b = outcomes[e.before];
+    const core::ActionOutcome& a = outcomes[e.after];
+    if (!b.executed || !a.executed) {
+      continue;  // already counted above
+    }
+    if (b.complete > a.issue) {
+      out.hb_violations++;
+      if (out.first_violation.empty()) {
+        out.first_violation = StrFormat(
+            "%s edge %u -> %u violated: complete=%lld > issue=%lld\n  before: %s\n  after:  %s",
+            HbRuleName(e.rule), e.before, e.after, static_cast<long long>(b.complete),
+            static_cast<long long>(a.issue),
+            trace::FormatEvent(t.events[e.before]).c_str(),
+            trace::FormatEvent(t.events[e.after]).c_str());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace artc::check

@@ -1,0 +1,34 @@
+// Invariant oracle: asserts that one replay run respected the independently
+// recomputed ROOT partial order (src/check/refmodel.h) and was semantically
+// clean. The schedule-invariance checks that need *several* runs (final
+// file-system state, virtual end-time slack) live in the explorer, which
+// calls this per schedule.
+#ifndef SRC_CHECK_ORACLE_H_
+#define SRC_CHECK_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/check/refmodel.h"
+#include "src/core/report.h"
+#include "src/trace/event.h"
+
+namespace artc::check {
+
+struct OracleFindings {
+  uint64_t hb_violations = 0;    // edges with complete(before) > issue(after)
+  uint64_t ret_mismatches = 0;   // report.failed_events
+  uint64_t unexecuted = 0;       // actions the replay never ran
+  std::string first_violation;   // human-readable description of the first
+
+  bool ok() const { return hb_violations == 0 && ret_mismatches == 0 && unexecuted == 0; }
+};
+
+// Checks one replay report against the model. `t` provides event text for
+// diagnostics only.
+OracleFindings CheckSchedule(const RefModel& model, const trace::Trace& t,
+                             const core::ReplayReport& report);
+
+}  // namespace artc::check
+
+#endif  // SRC_CHECK_ORACLE_H_

@@ -1,0 +1,66 @@
+// Independent happens-before reference model for the checking harness.
+//
+// BuildRefModel replays a trace *logically*, in trace order, against its own
+// sequential file-system model — deliberately NOT sharing a line of code
+// with src/fsmodel or src/core/compiler.cc — and emits the happens-before
+// edges the ROOT ordering rules require:
+//
+//  * sequential rule — consecutive accesses to the same file node (through
+//    any name or fd) are totally ordered;
+//  * stage rule — accesses to a path/fd generation happen after the event
+//    that created the binding, and the event that destroys it happens after
+//    every access;
+//  * name rule — a generation's first event happens after the previous
+//    generation of the same name is fully retired (folded into the
+//    rebinding edges: the event that rebinds a name is ordered after every
+//    event of the outgoing generation);
+//  * thread rule — a thread's events are ordered among themselves.
+//
+// The compiler emits every one of these as a completion dependency, so a
+// correct replay must satisfy complete(before) <= issue(after) for each edge
+// — the oracle's core assertion. The model also predicts every call's
+// return (exact counts for data ops, errno class for namespace ops) as a
+// self-check that generated traces are sequentially consistent.
+#ifndef SRC_CHECK_REFMODEL_H_
+#define SRC_CHECK_REFMODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_io.h"
+
+namespace artc::check {
+
+enum class HbRule : uint8_t {
+  kThread,     // program order within one thread
+  kFileSeq,    // sequential rule on a file node
+  kPathStage,  // path-generation creator -> use
+  kPathName,   // path-generation retire -> rebind (name rule + stage delete)
+  kFdStage,    // fd-generation open -> use, all -> close
+};
+
+const char* HbRuleName(HbRule rule);
+
+struct HbEdge {
+  uint32_t before = 0;  // trace index that must complete first
+  uint32_t after = 0;   // trace index that may then issue
+  HbRule rule = HbRule::kThread;
+};
+
+struct RefModel {
+  std::vector<HbEdge> edges;  // sorted by (after, before), deduped
+
+  // Trace self-consistency: events whose traced return disagrees with the
+  // sequential model (a schedule-clean trace recorded by the generator has
+  // zero), and events whose call is outside the modelled subset.
+  uint64_t mismatched_returns = 0;
+  std::string first_mismatch;
+  uint64_t unsupported_events = 0;
+};
+
+RefModel BuildRefModel(const trace::TraceBundle& bundle);
+
+}  // namespace artc::check
+
+#endif  // SRC_CHECK_REFMODEL_H_

@@ -12,6 +12,8 @@ SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
     obs::Enable();
   }
   sim::Simulation sim(target.seed, target.sim_backend);
+  std::unique_ptr<sim::SchedulePolicy> policy = sim::MakeSchedulePolicy(target.schedule);
+  sim.SetSchedulePolicy(policy.get());
   storage::StorageStack stack(&sim, target.storage);
   vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile(target.fs_profile),
               vfs::MakePlatformProfile(target.platform));
@@ -45,6 +47,8 @@ MultiReplayResult ReplayConcurrentlyOnSimTarget(
     obs::Enable();
   }
   sim::Simulation sim(target.seed, target.sim_backend);
+  std::unique_ptr<sim::SchedulePolicy> policy = sim::MakeSchedulePolicy(target.schedule);
+  sim.SetSchedulePolicy(policy.get());
   storage::StorageStack stack(&sim, target.storage);
   vfs::Vfs fs(&sim, &stack, vfs::MakeFsProfile(target.fs_profile),
               vfs::MakePlatformProfile(target.platform));

@@ -12,6 +12,7 @@
 #include "src/core/emulation.h"
 #include "src/core/replay_engine.h"
 #include "src/core/report.h"
+#include "src/sim/schedule.h"
 #include "src/sim/simulation.h"
 #include "src/storage/storage_stack.h"
 #include "src/vfs/vfs.h"
@@ -31,6 +32,11 @@ struct SimTarget {
   // unless -DARTC_SIM_BACKEND=threads) is right for everything except
   // differential backend testing.
   sim::SimBackend sim_backend = sim::DefaultSimBackend();
+  // Scheduler choice-point policy for the simulation. kDefault keeps the
+  // built-in seeded-random scheduler and is bit-identical to not setting a
+  // policy at all; kRandom / kPct explore alternative legal interleavings
+  // of the same replay (used by the src/check/ harness).
+  sim::ScheduleSpec schedule;
   bool drop_caches_after_init = true;
   bool delta_init = false;
   // Turns on the process-wide observability switch (obs::Enable) for this

@@ -30,6 +30,18 @@ const char* ResourceKindName(ResourceKind k) {
   return "?";
 }
 
+const char* AccessName(Access a) {
+  switch (a) {
+    case Access::kUse:
+      return "use";
+    case Access::kCreate:
+      return "create";
+    case Access::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
 uint32_t AnnotatedTrace::ThreadResource(uint32_t tid) const {
   for (size_t i = 0; i < thread_ids.size(); ++i) {
     if (thread_ids[i] == tid) {
@@ -231,6 +243,13 @@ class Annotator {
     Node* parent = nullptr;  // immediate parent dir, if it exists
     uint32_t leaf = kNoPathId;           // interned leaf component name
     uint32_t final_path_id = kNoPathId;  // interned normalized leaf path
+    // When resolution dies before the leaf (missing intermediate, or an
+    // intermediate bound to a non-directory), the interned path of the
+    // prefix that failed. The outcome of the call depends on that name's
+    // binding, so callers must touch its current generation — otherwise a
+    // replay can reorder the call against the mkdir/rmdir/rename that
+    // (un)bound the prefix and change its result.
+    uint32_t missing_prefix_id = kNoPathId;
   };
 
   Resolved ResolvePath(std::string_view path, bool follow_last,
@@ -259,6 +278,8 @@ class Annotator {
     size_t start = 1;
     while (true) {
       if (dir->type != kNodeDir) {
+        res.missing_prefix_id =
+            Intern(start == 1 ? std::string_view("/") : nview.substr(0, start - 1));
         return res;
       }
       size_t pos = nview.find('/', start);
@@ -271,6 +292,8 @@ class Annotator {
           res.parent = dir;
           res.leaf = name;
           res.final_path_id = Intern(nview);
+        } else {
+          res.missing_prefix_id = Intern(nview.substr(0, end));
         }
         return res;
       }
@@ -422,6 +445,9 @@ class Annotator {
     std::vector<Node*> via;
     Resolved r = ResolvePath(interner_.View(pid), follow_last, &via);
     UsePath(pid);
+    if (r.missing_prefix_id != kNoPathId) {
+      UsePath(r.missing_prefix_id);
+    }
     for (Node* link : via) {
       TouchRes(NodeResource(link), Access::kUse);
     }
@@ -489,6 +515,9 @@ class Annotator {
     }
     if (ev.Failed() || r.node == nullptr) {
       UsePath(Intern(norm));
+      if (r.missing_prefix_id != kNoPathId) {
+        UsePath(r.missing_prefix_id);
+      }
       if (r.parent != nullptr) {
         TouchRes(NodeResource(r.parent), Access::kUse);
       }
@@ -517,12 +546,30 @@ class Annotator {
     if (ev.Failed() || rs.node == nullptr || rd.parent == nullptr) {
       UsePath(Intern(src));
       UsePath(Intern(dst));
+      if (rs.missing_prefix_id != kNoPathId) {
+        UsePath(rs.missing_prefix_id);
+      }
+      if (rd.missing_prefix_id != kNoPathId) {
+        UsePath(rd.missing_prefix_id);
+      }
       if (rs.parent != nullptr) {
         TouchRes(NodeResource(rs.parent), Access::kUse);
       }
       if (rd.parent != nullptr) {
         TouchRes(NodeResource(rd.parent), Access::kUse);
       }
+      return;
+    }
+    if (rs.node == rd.node) {
+      // POSIX: renaming a name onto another hard link of the same node is a
+      // no-op — the VFS returns 0 without unbinding the source. Model it as
+      // plain uses; mutating the tree here would desynchronize the shadow
+      // namespace from replay and drop every later edge through this node.
+      UsePath(Intern(src));
+      UsePath(Intern(dst));
+      TouchRes(NodeResource(rs.parent), Access::kUse);
+      TouchRes(NodeResource(rd.parent), Access::kUse);
+      TouchRes(NodeResource(rs.node), Access::kUse);
       return;
     }
     TouchRes(NodeResource(rs.parent), Access::kUse);

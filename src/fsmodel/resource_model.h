@@ -82,6 +82,7 @@ AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& sna
                              const AnnotateOptions& options = {});
 
 const char* ResourceKindName(ResourceKind k);
+const char* AccessName(Access a);
 
 }  // namespace artc::fsmodel
 

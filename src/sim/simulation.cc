@@ -201,12 +201,27 @@ void Simulation::HostThreadSwitchTo(ThreadState* t) {
 
 // ---- Shared scheduler ----
 
+size_t Simulation::ChooseIndex(ChoicePoint point,
+                               const std::vector<ThreadState*>& candidates) {
+  const size_t n = candidates.size();
+  if (n == 1) {
+    return 0;
+  }
+  if (policy_ == nullptr) {
+    return rng_.NextBelow(n);
+  }
+  policy_ids_.clear();
+  for (ThreadState* t : candidates) {
+    policy_ids_.push_back(t->id);
+  }
+  size_t pick = policy_->Pick(point, policy_ids_.data(), n, rng_);
+  ARTC_CHECK_MSG(pick < n, "schedule policy returned an out-of-range pick");
+  return pick;
+}
+
 ThreadState* Simulation::PickReady() {
   ARTC_CHECK(!ready_.empty());
-  size_t idx = 0;
-  if (ready_.size() > 1) {
-    idx = rng_.NextBelow(ready_.size());
-  }
+  size_t idx = ChooseIndex(ChoicePoint::kRun, ready_);
   ThreadState* t = ready_[idx];
   ready_[idx] = ready_.back();
   ready_.pop_back();
@@ -400,10 +415,7 @@ void SimCondVar::NotifyOne() {
   if (waiters_.empty()) {
     return;
   }
-  size_t idx = 0;
-  if (waiters_.size() > 1) {
-    idx = sim_->rng().NextBelow(waiters_.size());
-  }
+  size_t idx = sim_->ChooseIndex(ChoicePoint::kWake, waiters_);
   ThreadState* t = waiters_[idx];
   waiters_[idx] = waiters_.back();
   waiters_.pop_back();

@@ -69,6 +69,24 @@ SimBackend DefaultSimBackend();
 // Internal per-thread record. Exposed only so SimCondVar can hold pointers.
 struct ThreadState;
 
+// The two kinds of scheduler choice point a SchedulePolicy can override.
+enum class ChoicePoint : uint8_t {
+  kRun,   // which ready thread runs next
+  kWake,  // which condvar waiter NotifyOne wakes
+};
+
+// Overrides the scheduler's seeded-random choices; see src/sim/schedule.h
+// for implementations. Pick() is called only when n >= 2 and must return an
+// index < n. `sim_rng` is the simulation's own stream: a policy may draw
+// from it (perturbing downstream seeded decisions exactly like the default
+// scheduler would) or keep a private stream and leave it untouched.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  virtual size_t Pick(ChoicePoint point, const SimThreadId* candidates, size_t n,
+                      Rng& sim_rng) = 0;
+};
+
 // A condition variable for simulated threads. All waits are in virtual time;
 // there is no spurious wakeup, but users should still re-check predicates
 // because another thread may run between notify and wakeup.
@@ -160,6 +178,13 @@ class Simulation {
   // workloads that want reproducible randomness tied to the run.
   Rng& rng() { return rng_; }
 
+  // Installs a schedule policy (non-owning; caller keeps it alive for the
+  // simulation's lifetime). nullptr restores the built-in seeded-random
+  // scheduler — a run with no policy is bit-identical to one never set.
+  // Install before Run(); switching mid-run is legal but rarely useful.
+  void SetSchedulePolicy(SchedulePolicy* policy) { policy_ = policy; }
+  SchedulePolicy* schedule_policy() const { return policy_; }
+
   // Total context switches performed (diagnostics).
   uint64_t switch_count() const { return switches_; }
 
@@ -202,6 +227,10 @@ class Simulation {
   void YieldToScheduler(ThreadState* t, bool runnable_again);
   void FinishThread(ThreadState* t, bool aborted);  // body returned/unwound
   ThreadState* PickReady();
+  // One scheduler choice among `candidates`: policy pick if installed,
+  // otherwise the built-in seeded-random draw. n == 1 short-circuits to 0
+  // without consuming randomness or consulting the policy.
+  size_t ChooseIndex(ChoicePoint point, const std::vector<ThreadState*>& candidates);
 
   // Fiber backend.
   static void FiberEntry();             // makecontext entry point
@@ -215,6 +244,8 @@ class Simulation {
   TimeNs now_ = 0;
   Rng rng_;
   SimBackend backend_;
+  SchedulePolicy* policy_ = nullptr;     // non-owning
+  std::vector<SimThreadId> policy_ids_;  // scratch for policy candidate lists
   uint64_t seq_ = 0;
   uint64_t switches_ = 0;
   uint64_t next_callback_id_ = 1;

@@ -215,4 +215,65 @@ void WriteTraceFile(const Trace& trace, const std::string& path) {
   WriteTrace(trace, out);
 }
 
+namespace {
+constexpr std::string_view kSnapshotLinePrefix = "#snapshot ";
+}  // namespace
+
+TraceBundle ReadTraceBundle(std::istream& in) {
+  TraceBundle bundle;
+  std::string snapshot_text;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    if (std::string_view(line).substr(0, kSnapshotLinePrefix.size()) ==
+        kSnapshotLinePrefix) {
+      snapshot_text.append(line, kSnapshotLinePrefix.size(),
+                           line.size() - kSnapshotLinePrefix.size());
+      snapshot_text.push_back('\n');
+      continue;
+    }
+    TraceEvent ev;
+    std::string error;
+    if (ParseEventLine(line, &ev, &error)) {
+      ev.index = bundle.trace.events.size();
+      bundle.trace.events.push_back(std::move(ev));
+    } else {
+      ARTC_CHECK_MSG(error.empty(), "bundle parse error at line %zu: %s", lineno,
+                     error.c_str());
+    }
+  }
+  std::istringstream snap_in(snapshot_text);
+  bundle.snapshot = ReadSnapshot(snap_in);
+  return bundle;
+}
+
+TraceBundle ReadTraceBundleFile(const std::string& path) {
+  std::ifstream in(path);
+  ARTC_CHECK_MSG(in.good(), "cannot open bundle file %s", path.c_str());
+  return ReadTraceBundle(in);
+}
+
+void WriteTraceBundle(const TraceBundle& bundle, std::ostream& out) {
+  out << "# artc trace bundle: snapshot lines are prefixed with '"
+      << kSnapshotLinePrefix << "'\n";
+  std::ostringstream snap_out;
+  WriteSnapshot(bundle.snapshot, snap_out);
+  std::istringstream snap_in(snap_out.str());
+  std::string line;
+  while (std::getline(snap_in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;  // the snapshot writer's own comments need no round trip
+    }
+    out << kSnapshotLinePrefix << line << "\n";
+  }
+  WriteTrace(bundle.trace, out);
+}
+
+void WriteTraceBundleFile(const TraceBundle& bundle, const std::string& path) {
+  std::ofstream out(path);
+  ARTC_CHECK_MSG(out.good(), "cannot write bundle file %s", path.c_str());
+  WriteTraceBundle(bundle, out);
+}
+
 }  // namespace artc::trace

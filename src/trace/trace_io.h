@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/trace/event.h"
+#include "src/trace/snapshot.h"
 
 namespace artc::trace {
 
@@ -24,6 +25,25 @@ void WriteTraceFile(const Trace& trace, const std::string& path);
 
 // Parses one native-format line; returns false for blank/comment lines.
 bool ParseEventLine(std::string_view line, TraceEvent* out, std::string* error);
+
+// ---------------------------------------------------------------------------
+// Trace bundles: a trace plus the initial file-tree snapshot it replays
+// against, in ONE text file. The snapshot rides along as comment lines
+// ("#snapshot <snapshot-format-line>") ahead of the trace, so a bundle is
+// also a valid plain trace file for every existing reader. Bundles are the
+// unit of the checking harness's golden corpus and repro dumps: a single
+// file plus a schedule seed reproduces a replay exactly.
+// ---------------------------------------------------------------------------
+
+struct TraceBundle {
+  Trace trace;
+  FsSnapshot snapshot;
+};
+
+TraceBundle ReadTraceBundle(std::istream& in);
+TraceBundle ReadTraceBundleFile(const std::string& path);
+void WriteTraceBundle(const TraceBundle& bundle, std::ostream& out);
+void WriteTraceBundleFile(const TraceBundle& bundle, const std::string& path);
 
 }  // namespace artc::trace
 

@@ -1,7 +1,11 @@
 // Coverage for storage-stack corners: dirty-page throttling, write-back on
-// eviction, CFQ handling of async (write-back) I/O, and device accounting.
+// eviction, CFQ handling of async (write-back) I/O, device accounting, and
+// io-scheduler behaviour under randomized thread dispatch.
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "src/sim/schedule.h"
 #include "src/sim/simulation.h"
 #include "src/storage/storage_stack.h"
 
@@ -112,6 +116,58 @@ TEST(StorageStack, WriteSyncIsImmediatelyDurable) {
     EXPECT_EQ(stack.MediaReadBlocks(), reads_before);
   });
   sim.Run();
+}
+
+// The CFQ invariants must hold under ANY legal dispatch order, not just the
+// built-in scheduler's: replaying the two-context workload under several
+// seeded-random schedule policies, every run completes, neither context
+// starves, and — with a cache too small to matter and readahead off — the
+// media read count is schedule-invariant.
+TEST(Cfq, ProgressUnderRandomizedDispatch) {
+  std::set<uint64_t> media_reads;
+  for (uint64_t policy_seed : {0ull, 11ull, 12ull, 13ull, 14ull}) {
+    sim::Simulation sim(5);
+    sim::RandomSchedulePolicy policy(policy_seed);
+    if (policy_seed != 0) {  // 0 = control run on the built-in scheduler
+      sim.SetSchedulePolicy(&policy);
+    }
+    StorageConfig cfg = MakeNamedConfig("cfq-100ms");
+    cfg.cache.capacity_blocks = 16;
+    cfg.cache.readahead_blocks = 0;
+    StorageStack stack(&sim, cfg);
+    int finished = 0;
+    for (int t = 0; t < 2; ++t) {
+      uint64_t base = t == 0 ? 0 : 40'000'000;
+      sim.Spawn("reader", [&sim, &stack, &finished, base] {
+        for (int i = 0; i < 100; ++i) {
+          stack.Read(base + static_cast<uint64_t>(i), 1, false);
+        }
+        finished++;
+      });
+    }
+    sim.Run();
+    EXPECT_EQ(finished, 2) << "policy seed " << policy_seed;
+    EXPECT_EQ(sim.UnfinishedThreads(), 0u) << "policy seed " << policy_seed;
+    media_reads.insert(stack.MediaReadBlocks());
+  }
+  EXPECT_EQ(media_reads.size(), 1u) << "media reads varied with the schedule";
+}
+
+// Request coalescing must not depend on arrival order: whichever reader the
+// policy dispatches first starts the fetch, the rest share it.
+TEST(StorageStack, SharedFetchUnderRandomizedDispatch) {
+  for (uint64_t policy_seed : {21ull, 22ull, 23ull}) {
+    sim::Simulation sim(9);
+    sim::RandomSchedulePolicy policy(policy_seed);
+    sim.SetSchedulePolicy(&policy);
+    StorageStack stack(&sim, MakeNamedConfig("hdd"));
+    for (int t = 0; t < 4; ++t) {
+      sim.Spawn("reader", [&] { stack.Read(123456, 8, false); });
+    }
+    sim.Run();
+    EXPECT_EQ(stack.MediaReadBlocks(), 8u) << "policy seed " << policy_seed;
+    EXPECT_EQ(sim.UnfinishedThreads(), 0u);
+  }
 }
 
 TEST(Hdd, PositioningStatsAccumulate) {

