@@ -18,6 +18,11 @@ namespace artc::core {
 
 inline constexpr uint32_t kNoEvent = UINT32_MAX;
 
+// Compact id of the resource an edge orders on, indexing
+// CompiledBenchmark::dep_resource_names. Infrastructure edges (temporal
+// issue order, fd/aio remap plumbing) carry kNoDepResource.
+inline constexpr uint32_t kNoDepResource = UINT32_MAX;
+
 enum class DepKind : uint8_t {
   kCompletion,  // dependency must have finished replaying
   kIssue,       // dependency must have been issued
@@ -27,6 +32,10 @@ struct Dep {
   uint32_t event;   // trace index of the prerequisite action
   DepKind kind;
   RuleTag rule;     // which ordering rule produced this edge (stats)
+  // Which resource the rule ordered on (attribution). Generations of the
+  // same name share one id, so "every stall behind /a/b" aggregates
+  // across create/delete cycles.
+  uint32_t res = kNoDepResource;
 };
 
 // A view over one action's dependencies inside the shared dep arena.
@@ -95,6 +104,17 @@ struct CompiledBenchmark {
   std::vector<Dep> dep_arena;
   std::vector<uint32_t> dep_offsets;  // size() + 1 entries; empty when size()==0
   uint64_t dep_arena_peak_bytes = 0;  // arena high-water mark during compile
+
+  // Human-readable names for Dep::res ids, assigned densely in edge-emission
+  // order: literal paths for path-rule edges, "fd:N" / "file#N" / "aio:N" /
+  // "thread:N" for the others. Only resources that actually produced a
+  // materialized edge get an entry, so the table stays small.
+  std::vector<std::string> dep_resource_names;
+
+  const std::string& DepResourceName(uint32_t res) const {
+    static const std::string kNone = "(none)";
+    return res < dep_resource_names.size() ? dep_resource_names[res] : kNone;
+  }
 
   DepSpan DepsFor(uint32_t action) const {
     const Dep* base = dep_arena.data();

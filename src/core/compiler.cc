@@ -6,6 +6,7 @@
 #include "src/fsmodel/resource_model.h"
 #include "src/obs/obs.h"
 #include "src/util/check.h"
+#include "src/util/strings.h"
 
 namespace artc::core {
 namespace {
@@ -49,6 +50,7 @@ class DepBuilder {
   void ArtcTouch(const fsmodel::Touch& touch, const ReplayModes& modes) {
     const fsmodel::ResourceInfo& res = ann_.resources[touch.resource];
     Cursor& c = cursors_[touch.resource];
+    cur_touch_res_ = touch.resource;
     switch (res.kind) {
       case ResourceKind::kFile:
         if (modes.file_seq) {
@@ -123,6 +125,7 @@ class DepBuilder {
 
   void BeginEvent(uint32_t index) {
     cur_event_ = index;
+    cur_touch_res_ = kNoResource;
     scratch_.clear();
     // Each touch yields at most one dep plus the create edge; a little
     // headroom avoids regrowth on delete events with many outstanding uses.
@@ -237,8 +240,74 @@ class DepBuilder {
       }
       return;
     }
-    scratch_.insert(it, {dep_event, kind, rule});
+    scratch_.insert(it, {dep_event, kind, rule, CompactRes(cur_touch_res_)});
     CountEdge(rule, dep_event);
+  }
+
+  // Maps the annotator's per-generation resource id to a compact
+  // attribution id shared by every generation of the same underlying name
+  // (keyed by kind + ResourceInfo::name_id), materialising a human-readable
+  // name on first use. Only resources that produce a materialised edge get
+  // an entry, so the table stays proportional to the edge set.
+  uint32_t CompactRes(uint32_t raw) {
+    if (raw == kNoResource) {
+      return kNoDepResource;
+    }
+    if (res_compact_.size() < ann_.resources.size()) {
+      res_compact_.assign(ann_.resources.size(), 0);
+    }
+    if (res_compact_[raw] != 0) {
+      return res_compact_[raw] - 1;
+    }
+    const fsmodel::ResourceInfo& info = ann_.resources[raw];
+    uint32_t compact;
+    if (info.name_id != kNoResource) {
+      // Share one id across generations of the same name.
+      uint64_t key = (static_cast<uint64_t>(info.kind) << 32) | info.name_id;
+      auto [it, inserted] =
+          key_to_compact_.try_emplace(key, 0);
+      if (inserted) {
+        it->second = NewCompactName(info, raw);
+      }
+      compact = it->second;
+    } else {
+      compact = NewCompactName(info, raw);
+    }
+    res_compact_[raw] = compact + 1;
+    return compact;
+  }
+
+  uint32_t NewCompactName(const fsmodel::ResourceInfo& info, uint32_t raw) {
+    std::string name;
+    switch (info.kind) {
+      case ResourceKind::kPath:
+        if (ann_.path_names != nullptr && info.name_id != kNoResource) {
+          name = std::string(ann_.path_names->View(info.name_id));
+        } else {
+          name = StrFormat("path#%u", raw);
+        }
+        break;
+      case ResourceKind::kFd:
+        name = StrFormat("fd:%u", info.name_id);
+        break;
+      case ResourceKind::kFile:
+        name = StrFormat("file#%u", info.name_id);
+        break;
+      case ResourceKind::kThread:
+        name = StrFormat("thread:%u", info.name_id);
+        break;
+      case ResourceKind::kAiocb:
+        name = StrFormat("aio:%u", info.name_id);
+        break;
+      case ResourceKind::kProgram:
+        name = "program";
+        break;
+    }
+    if (name.empty()) {
+      name = StrFormat("res#%u", raw);
+    }
+    out_->dep_resource_names.push_back(std::move(name));
+    return static_cast<uint32_t>(out_->dep_resource_names.size() - 1);
   }
 
   // Replayability infrastructure dep (temporal method): the defining event
@@ -268,7 +337,12 @@ class DepBuilder {
   CompiledBenchmark* out_;
   std::vector<Cursor> cursors_;
   uint32_t cur_event_ = 0;
+  uint32_t cur_touch_res_ = kNoResource;  // annotator resource being emitted
   std::vector<Dep> scratch_;  // current event's deps, sorted by event
+  // raw resource id -> compact attribution id + 1 (0 = unassigned), lazily
+  // sized on the first materialised edge.
+  std::vector<uint32_t> res_compact_;
+  std::unordered_map<uint64_t, uint32_t> key_to_compact_;  // (kind,name)->id
 };
 
 // Drops completion edges that can never be the edge an action blocks on.

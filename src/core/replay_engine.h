@@ -129,6 +129,7 @@ ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
           }
         }
       }
+      outcomes[idx].wait_start = wait_start;
       outcomes[idx].dep_stall = env.Now() - wait_start;
       // 2. Pacing.
       if (options.pacing == PacingMode::kNatural && a.predelay > 0) {
@@ -152,8 +153,18 @@ ReplayReport Replay(const CompiledBenchmark& bench, Env& env,
         ctx.aio = aio_slots[static_cast<size_t>(a.aio_use_slot)].load(
             std::memory_order_acquire);
       }
+      // Optional Env hook: cumulative storage service time charged to the
+      // calling replay thread, so the per-action delta isolates how much of
+      // the call's latency the storage stack served (vs. CPU cost model).
+      [[maybe_unused]] TimeNs storage_before = 0;
+      if constexpr (requires { env.StorageServiceNs(); }) {
+        storage_before = env.StorageServiceNs();
+      }
       int64_t ret = env.Execute(ev, ctx);
       out.complete = env.Now();
+      if constexpr (requires { env.StorageServiceNs(); }) {
+        out.storage_ns = env.StorageServiceNs() - storage_before;
+      }
       out.ret = ret;
       out.executed = true;
       if (ret >= 0 && a.fd_def_slot >= 0) {

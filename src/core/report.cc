@@ -1,8 +1,47 @@
 #include "src/core/report.h"
 
+#include <algorithm>
+
 #include "src/util/strings.h"
 
 namespace artc::core {
+
+void ComputeStallSlices(const CompiledBenchmark& bench, uint32_t action,
+                        const std::vector<ActionOutcome>& outcomes,
+                        std::vector<StallSlice>* out) {
+  out->clear();
+  const ActionOutcome& a = outcomes[action];
+  if (a.dep_stall <= 0) {
+    return;
+  }
+  const TimeNs lo = a.wait_start;
+  const TimeNs hi = a.wait_start + a.dep_stall;
+  // Running max over the dependencies' satisfaction times: a dep whose
+  // satisfaction lies past the current bound was the blocking edge for the
+  // interval between the bound and its satisfaction. In the virtual-time
+  // sim the final bound equals hi exactly (woken threads run before time
+  // advances); on a host clock the residual wake-up latency lands in a
+  // trailing unattributed slice.
+  TimeNs m = lo;
+  const DepSpan deps = bench.DepsFor(action);
+  for (uint32_t di = 0; di < deps.size(); ++di) {
+    const Dep& d = deps[di];
+    const ActionOutcome& dep_out = outcomes[d.event];
+    const TimeNs satisfy =
+        d.kind == DepKind::kIssue ? dep_out.issue : dep_out.complete;
+    if (satisfy > m) {
+      const TimeNs end = std::min(satisfy, hi);
+      out->push_back({di, m, end});
+      m = end;
+      if (m >= hi) {
+        return;
+      }
+    }
+  }
+  if (m < hi) {
+    out->push_back({kUnattributedSlice, m, hi});
+  }
+}
 
 bool OutcomeMatches(const trace::TraceEvent& ev, int64_t replay_ret) {
   bool traced_ok = ev.ret >= 0;
@@ -96,6 +135,47 @@ ReplayReport BuildReport(const CompiledBenchmark& bench,
     report.count_by_sys[static_cast<size_t>(ev.call)]++;
     report.time_by_sys[static_cast<size_t>(ev.call)] += dur;
   }
+  // Attribute stall time to the edges (hence rules and resources) that
+  // caused it, slice by slice.
+  std::vector<TimeNs> stall_by_res(bench.dep_resource_names.size(), 0);
+  std::vector<StallSlice> slices;
+  for (uint32_t i = 0; i < bench.actions.size(); ++i) {
+    if (outcomes[i].dep_stall <= 0) {
+      continue;
+    }
+    ComputeStallSlices(bench, i, outcomes, &slices);
+    const DepSpan deps = bench.DepsFor(i);
+    for (const StallSlice& s : slices) {
+      const TimeNs dur = s.end - s.begin;
+      if (s.dep_index == kUnattributedSlice) {
+        report.dep_stall_unattributed += dur;
+        continue;
+      }
+      const Dep& d = deps[s.dep_index];
+      report.dep_stall_by_rule[static_cast<size_t>(d.rule)] += dur;
+      if (d.res < stall_by_res.size()) {
+        stall_by_res[d.res] += dur;
+      }
+    }
+  }
+  std::vector<uint32_t> order;
+  for (uint32_t r = 0; r < stall_by_res.size(); ++r) {
+    if (stall_by_res[r] > 0) {
+      order.push_back(r);
+    }
+  }
+  const size_t top = std::min<size_t>(5, order.size());
+  std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return stall_by_res[a] != stall_by_res[b]
+                                 ? stall_by_res[a] > stall_by_res[b]
+                                 : a < b;
+                    });
+  order.resize(top);
+  for (uint32_t r : order) {
+    report.top_stall_resources.emplace_back(bench.DepResourceName(r),
+                                            stall_by_res[r]);
+  }
   report.outcomes = std::move(outcomes);
   return report;
 }
@@ -115,6 +195,24 @@ std::string ReplayReport::Summary() const {
                    call_latency.Quantile(0.50) / 1000.0,
                    call_latency.Quantile(0.95) / 1000.0,
                    call_latency.Quantile(0.99) / 1000.0);
+  }
+  if (total_dep_stall > 0) {
+    s += "\n  stall by rule:";
+    for (size_t i = 0; i < dep_stall_by_rule.size(); ++i) {
+      if (dep_stall_by_rule[i] > 0) {
+        s += StrFormat(" %s=%.3fs", RuleTagName(static_cast<RuleTag>(i)),
+                       ToSeconds(dep_stall_by_rule[i]));
+      }
+    }
+    if (dep_stall_unattributed > 0) {
+      s += StrFormat(" unattributed=%.3fs", ToSeconds(dep_stall_unattributed));
+    }
+  }
+  if (!top_stall_resources.empty()) {
+    s += "\n  top stall resources:";
+    for (const auto& [name, ns] : top_stall_resources) {
+      s += StrFormat(" %s=%.3fs", name.c_str(), ToSeconds(ns));
+    }
   }
   return s;
 }

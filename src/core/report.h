@@ -21,10 +21,34 @@ namespace artc::core {
 struct ActionOutcome {
   TimeNs issue = 0;     // when the call was issued during replay
   TimeNs complete = 0;  // when it returned
+  TimeNs wait_start = 0; // when the thread began checking dependencies
   TimeNs dep_stall = 0; // time spent waiting on ordering dependencies
+  TimeNs storage_ns = 0; // of (complete - issue), time the storage stack served
   int64_t ret = 0;      // value or -errno, same convention as traces
   bool executed = false;
 };
+
+// One attributed interval of an action's dependency stall: during
+// [begin, end) the action was blocked and `dep_index` (an index into the
+// action's DepSpan) is the edge whose satisfaction lifted the running
+// wait bound past `begin`. kUnattributedSlice marks residual wait with no
+// responsible edge (host wake-up latency; zero in the virtual-time sim).
+inline constexpr uint32_t kUnattributedSlice = UINT32_MAX;
+
+struct StallSlice {
+  uint32_t dep_index = kUnattributedSlice;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+};
+
+// Decomposes outcomes[action].dep_stall into per-edge slices. The slices
+// are disjoint, ordered, and exactly tile
+// [wait_start, wait_start + dep_stall); an empty result means the action
+// never stalled. Works from timestamps alone, so it can run on any
+// finished replay without engine support.
+void ComputeStallSlices(const CompiledBenchmark& bench, uint32_t action,
+                        const std::vector<ActionOutcome>& outcomes,
+                        std::vector<StallSlice>* out);
 
 inline constexpr size_t kCategoryCount = 12;
 
@@ -55,6 +79,16 @@ struct ReplayReport {
   // Total time replay threads spent blocked on ordering dependencies — the
   // "stalls" visible as gaps in Fig. 9's timelines.
   TimeNs total_dep_stall = 0;
+
+  // total_dep_stall broken out by the rule that emitted the blocking edge
+  // (per-slice attribution via ComputeStallSlices, so the buckets sum to
+  // total_dep_stall minus dep_stall_unattributed).
+  std::array<TimeNs, static_cast<size_t>(RuleTag::kCount)> dep_stall_by_rule{};
+  TimeNs dep_stall_unattributed = 0;  // wake-up latency with no blocking edge
+
+  // The five resources behind the most attributed stall (name, total ns),
+  // descending. Names come from CompiledBenchmark::dep_resource_names.
+  std::vector<std::pair<std::string, TimeNs>> top_stall_resources;
 
   // Share of replay-thread time spent stalled on dependencies:
   // stall / (stall + in-call thread time). High values mean the dependency

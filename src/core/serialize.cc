@@ -9,7 +9,7 @@
 namespace artc::core {
 namespace {
 
-constexpr char kMagic[8] = {'A', 'R', 'T', 'C', 'B', '0', '0', '3'};
+constexpr char kMagic[8] = {'A', 'R', 'T', 'C', 'B', '0', '0', '4'};
 
 // Minimal length-prefixed binary writer/reader. All integers little-endian
 // native (the file is a local build artifact, not an interchange format).
@@ -138,8 +138,13 @@ void WriteBenchmark(const CompiledBenchmark& bench, std::ostream& out) {
     w.Pod<uint32_t>(d.event);
     w.Pod<uint8_t>(static_cast<uint8_t>(d.kind));
     w.Pod<uint8_t>(static_cast<uint8_t>(d.rule));
+    w.Pod<uint32_t>(d.res);
   }
   w.Pod<uint64_t>(bench.dep_arena_peak_bytes);
+  w.Pod<uint32_t>(static_cast<uint32_t>(bench.dep_resource_names.size()));
+  for (const std::string& name : bench.dep_resource_names) {
+    w.Str(name);
+  }
 
   w.Pod<uint32_t>(static_cast<uint32_t>(bench.thread_ids.size()));
   for (uint32_t tid : bench.thread_ids) {
@@ -214,6 +219,7 @@ CompiledBenchmark ReadBenchmark(std::istream& in) {
     dep.event = r.Pod<uint32_t>();
     dep.kind = static_cast<DepKind>(r.Pod<uint8_t>());
     dep.rule = static_cast<RuleTag>(r.Pod<uint8_t>());
+    dep.res = r.Pod<uint32_t>();
     bench.dep_arena.push_back(dep);
   }
   // Every dep must point backward from its owning action.
@@ -223,6 +229,12 @@ CompiledBenchmark ReadBenchmark(std::istream& in) {
     }
   }
   bench.dep_arena_peak_bytes = r.Pod<uint64_t>();
+  uint32_t n_res_names = r.Pod<uint32_t>();
+  ARTC_CHECK_MSG(n_res_names < (1u << 28), "implausible resource-name count");
+  bench.dep_resource_names.reserve(n_res_names);
+  for (uint32_t i = 0; i < n_res_names; ++i) {
+    bench.dep_resource_names.push_back(r.Str());
+  }
 
   uint32_t n_threads = r.Pod<uint32_t>();
   bench.thread_ids.reserve(n_threads);

@@ -53,6 +53,13 @@ class SimReplayEnv {
     return static_cast<uint32_t>(sim_->CurrentThread());
   }
 
+  // Optional Env hook (see replay_engine.h): cumulative storage service
+  // time charged to the calling simulated thread, sampled around Execute to
+  // split each action's latency into storage service vs. CPU cost model.
+  TimeNs StorageServiceNs() const {
+    return fs_->stack().ServiceNsForCurrentThread();
+  }
+
   // Restores the benchmark's snapshot into the VFS (Sec. 4.3.2), applying
   // emulation-policy tweaks such as the /dev/random -> /dev/urandom
   // symlink. delta performs a delta init.

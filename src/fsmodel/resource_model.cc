@@ -112,18 +112,21 @@ class Annotator {
       TouchThread(ev.tid);
       Handle(ev);
     }
+    out_.path_names = interner_;
     return std::move(out_);
   }
 
  private:
   // ---- resource table ----
   uint32_t NewResource(ResourceKind kind, std::string label,
-                       uint32_t prev = kNoResource, bool initially_bound = false) {
+                       uint32_t prev = kNoResource, bool initially_bound = false,
+                       uint32_t name_id = kNoResource) {
     ResourceInfo info;
     info.kind = kind;
     info.label = std::move(label);
     info.prev_generation = prev;
     info.initially_bound = initially_bound;
+    info.name_id = name_id;
     out_.resources.push_back(std::move(info));
     return static_cast<uint32_t>(out_.resources.size() - 1);
   }
@@ -152,7 +155,8 @@ class Annotator {
     uint32_t r;
     if (it == thread_res_.end()) {
       r = NewResource(ResourceKind::kThread,
-                      Labels() ? StrFormat("thread:%u", tid) : std::string());
+                      Labels() ? StrFormat("thread:%u", tid) : std::string(),
+                      kNoResource, /*initially_bound=*/false, /*name_id=*/tid);
       thread_res_[tid] = r;
       out_.thread_ids.push_back(tid);
       out_.thread_resources.push_back(r);
@@ -182,7 +186,9 @@ class Annotator {
       n->resource = NewResource(
           ResourceKind::kFile,
           Labels() ? StrFormat("file:%llu", static_cast<unsigned long long>(n->id))
-                   : std::string());
+                   : std::string(),
+          kNoResource, /*initially_bound=*/false,
+          /*name_id=*/static_cast<uint32_t>(n->id));
     }
     return n->resource;
   }
@@ -334,7 +340,7 @@ class Annotator {
     // First reference: bind lazily against the current tree.
     PathState st;
     std::vector<Node*> via;
-    std::string_view norm_path = interner_.View(path_id);
+    std::string_view norm_path = interner_->View(path_id);
     Resolved r = ResolvePath(norm_path, /*follow_last=*/false, &via);
     st.bound = r.node != nullptr;
     st.node = r.node != nullptr ? r.node->id : 0;
@@ -345,7 +351,8 @@ class Annotator {
                                                    norm_path.data(),
                                                    st.bound ? "" : "(absent)")
                                        : std::string(),
-                              kNoResource, /*initially_bound=*/st.bound);
+                              kNoResource, /*initially_bound=*/st.bound,
+                              /*name_id=*/path_id);
     return paths_.emplace(path_id, st).first->second;
   }
 
@@ -360,12 +367,12 @@ class Annotator {
     st.node = node;
     std::string label;
     if (Labels()) {
-      std::string_view norm_path = interner_.View(path_id);
+      std::string_view norm_path = interner_->View(path_id);
       label = StrFormat("path:%.*s@%u%s", static_cast<int>(norm_path.size()),
                         norm_path.data(), st.generation, now_bound ? "" : "(absent)");
     }
     st.resource = NewResource(ResourceKind::kPath, std::move(label), prev,
-                              /*initially_bound=*/false);
+                              /*initially_bound=*/false, /*name_id=*/path_id);
     TouchRes(st.resource, Access::kCreate);
   }
 
@@ -388,13 +395,13 @@ class Annotator {
     std::vector<uint32_t> out;
     std::string dir_prefix = prefix == "/" ? std::string(prefix) : std::string(prefix) + "/";
     for (const auto& [pid, st] : paths_) {
-      std::string_view p = interner_.View(pid);
+      std::string_view p = interner_->View(pid);
       if (p == prefix || StartsWith(p, dir_prefix)) {
         out.push_back(pid);
       }
     }
     std::sort(out.begin(), out.end(), [this](uint32_t a, uint32_t b) {
-      return interner_.View(a) < interner_.View(b);
+      return interner_->View(a) < interner_->View(b);
     });
     return out;
   }
@@ -412,7 +419,8 @@ class Annotator {
     st.node = node;
     st.resource = NewResource(
         ResourceKind::kFd,
-        Labels() ? StrFormat("fd:%d@%u", fd, st.generation) : std::string(), prev);
+        Labels() ? StrFormat("fd:%d@%u", fd, st.generation) : std::string(), prev,
+        /*initially_bound=*/false, /*name_id=*/static_cast<uint32_t>(fd));
     TouchRes(st.resource, Access::kCreate);
   }
 
@@ -443,7 +451,7 @@ class Annotator {
   Node* UsePathTarget(const std::string& raw_path, bool follow_last) {
     uint32_t pid = InternPathName(raw_path);
     std::vector<Node*> via;
-    Resolved r = ResolvePath(interner_.View(pid), follow_last, &via);
+    Resolved r = ResolvePath(interner_->View(pid), follow_last, &via);
     UsePath(pid);
     if (r.missing_prefix_id != kNoPathId) {
       UsePath(r.missing_prefix_id);
@@ -592,7 +600,7 @@ class Annotator {
 
     // Interned id of the destination-side name for each moved source path.
     auto moved_dest = [&](uint32_t pid) {
-      std::string_view p = interner_.View(pid);
+      std::string_view p = interner_->View(pid);
       std::string np = NormalizePath(dst + std::string(p.substr(src.size())));
       return Intern(np);
     };
@@ -602,7 +610,7 @@ class Annotator {
       // The corresponding destination path becomes bound.
       uint32_t np = moved_dest(pid);
       std::vector<Node*> tmp;
-      Resolved rr = ResolvePath(interner_.View(np), /*follow_last=*/false, &tmp);
+      Resolved rr = ResolvePath(interner_->View(np), /*follow_last=*/false, &tmp);
       RebindPath(np, rr.node != nullptr, rr.node != nullptr ? rr.node->id : 0);
     }
     for (uint32_t pid : clobbered) {
@@ -617,7 +625,7 @@ class Annotator {
         continue;
       }
       std::vector<Node*> tmp;
-      Resolved rr = ResolvePath(interner_.View(pid), /*follow_last=*/false, &tmp);
+      Resolved rr = ResolvePath(interner_->View(pid), /*follow_last=*/false, &tmp);
       RebindPath(pid, rr.node != nullptr, rr.node != nullptr ? rr.node->id : 0);
     }
     (void)is_dir;
@@ -830,7 +838,8 @@ class Annotator {
                                    static_cast<unsigned long long>(ev.aio_id),
                                    st.generation)
                        : std::string(),
-              prev);
+              prev, /*initially_bound=*/false,
+              /*name_id=*/static_cast<uint32_t>(ev.aio_id));
           TouchRes(st.resource, Access::kCreate);
         }
         break;
@@ -866,7 +875,7 @@ class Annotator {
     }
   }
 
-  uint32_t Intern(std::string_view s) { return interner_.Intern(s); }
+  uint32_t Intern(std::string_view s) { return interner_->Intern(s); }
   bool Labels() const { return opts_.materialize_labels; }
 
   const trace::Trace& trace_;
@@ -874,7 +883,10 @@ class Annotator {
   AnnotatedTrace out_;
   std::vector<Touch>* cur_ = nullptr;
 
-  util::StringInterner interner_;       // path names and components
+  // Path names and components. Heap-allocated so the finished annotation can
+  // keep a reference (AnnotatedTrace::path_names) after the annotator dies.
+  std::shared_ptr<util::StringInterner> interner_ =
+      std::make_shared<util::StringInterner>();
   std::vector<std::string> norm_stack_;  // ResolvePath per-depth buffers
   std::string intern_scratch_;           // InternPathName buffer
 

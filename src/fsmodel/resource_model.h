@@ -22,11 +22,13 @@
 #define SRC_FSMODEL_RESOURCE_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/trace/event.h"
 #include "src/trace/snapshot.h"
+#include "src/util/interner.h"
 
 namespace artc::fsmodel {
 
@@ -48,6 +50,13 @@ struct ResourceInfo {
   std::string label;                     // debug name, e.g. "path:/a/b@2"
   uint32_t prev_generation = kNoResource;  // same-name previous generation
   bool initially_bound = false;          // paths: bound at snapshot time
+  // Stable name key shared by every generation of the same underlying name,
+  // set even when labels are not materialized (the compiler's attribution
+  // tables are built from it). Meaning depends on kind:
+  //   kPath  — interned normalized path id (AnnotatedTrace::path_names)
+  //   kFd    — the fd number; kThread — the trace tid;
+  //   kFile  — shadow-tree node id; kAiocb — the traced aiocb id.
+  uint32_t name_id = kNoResource;
 };
 
 struct Touch {
@@ -68,6 +77,11 @@ struct AnnotatedTrace {
   uint32_t ThreadResource(uint32_t tid) const;
   std::vector<uint32_t> thread_resources;  // resource id per tid (sparse map)
   std::vector<uint32_t> thread_ids;        // parallel array
+
+  // The annotator's path interner: resolves ResourceInfo::name_id for kPath
+  // resources back to the normalized path string. Shared so the annotation
+  // stays cheap to move and the views outlive the annotator.
+  std::shared_ptr<const util::StringInterner> path_names;
 };
 
 struct AnnotateOptions {

@@ -1,0 +1,143 @@
+// Post-replay critical-path analyzer (the causal half of the paper's
+// evaluation story): walks a finished replay's per-action virtual
+// timestamps plus the compiled dependency graph and answers *why* the
+// replay ended when it did.
+//
+//  * The exact critical path from replay start to the last completion,
+//    segmented into action execution, dependency stall (attributed to the
+//    blocking edge), pacing sleeps, and idle residue. Segments tile
+//    [start, end_time] exactly — asserted by tests.
+//  * Attribution tables: critical-path stall split by RuleTag x DepKind, by
+//    ordered-on resource (CompiledBenchmark::dep_resource_names), by replay
+//    thread, and the execution time split by storage layer (page-cache hit
+//    cost vs media reads vs sync writes vs writeback, prorated from
+//    StorageStack service counters).
+//  * What-if slack analysis: for each rule class, a longest-path lower
+//    bound on the end time with that class of edges free. Dropping edges
+//    relaxes constraints on the DP but the per-action service durations are
+//    held at their observed values, so the result bounds — does not
+//    predict — a re-run (see DESIGN.md §5e).
+//
+// Everything runs on data the replay already produced; the analyzed replay
+// is untouched (virtual end times are bit-identical with analysis on/off).
+#ifndef SRC_OBS_CRITPATH_H_
+#define SRC_OBS_CRITPATH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/artc.h"
+#include "src/core/compiled.h"
+#include "src/core/report.h"
+#include "src/storage/storage_stack.h"
+#include "src/util/time.h"
+
+namespace artc::obs {
+
+class Tracer;
+
+enum class CritSegmentKind : uint8_t {
+  kExec,    // the action was executing (inside the simulated call)
+  kStall,   // blocked on the ordering edge in `dep_index`
+  kPacing,  // sleeping the recorded predelay
+  kIdle,    // residue with no owner (never produced by a sim replay)
+};
+
+const char* CritSegmentKindName(CritSegmentKind k);
+
+struct CritSegment {
+  CritSegmentKind kind = CritSegmentKind::kIdle;
+  uint32_t action = core::kNoEvent;  // kNoEvent for kIdle
+  // For kStall: index into the action's DepSpan of the blocking edge, or
+  // core::kUnattributedSlice for wake-up residue.
+  uint32_t dep_index = core::kUnattributedSlice;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  TimeNs Duration() const { return end - begin; }
+};
+
+struct CritPathWhatIf {
+  std::string name;     // "baseline", a RuleTagName, or "all_edges_free"
+  TimeNs end_time = 0;  // lower bound on replay end with those edges free
+};
+
+struct CritPathReport {
+  TimeNs start = 0;     // replay start (virtual)
+  TimeNs end_time = 0;  // last action completion (== report wall span)
+
+  // The path, earliest first; begins at `start`, ends at `end_time`,
+  // contiguous (segments[i].end == segments[i+1].begin).
+  std::vector<CritSegment> segments;
+
+  // Totals per segment kind; exec + stall + pacing + idle == end_time-start.
+  TimeNs exec_ns = 0;
+  TimeNs stall_ns = 0;
+  TimeNs pacing_ns = 0;
+  TimeNs idle_ns = 0;
+
+  // Of exec_ns, time the storage stack served (per-action deltas prorated
+  // onto the clamped path segments), split by storage layer using the
+  // run-wide service breakdown.
+  TimeNs storage_ns = 0;
+  TimeNs storage_cache_ns = 0;
+  TimeNs storage_media_read_ns = 0;
+  TimeNs storage_media_write_ns = 0;
+  TimeNs storage_writeback_ns = 0;
+
+  // stall_ns attributed by emitting rule and edge kind
+  // ([rule][0]=completion, [rule][1]=issue); the buckets plus
+  // stall_unattributed sum to stall_ns.
+  std::array<std::array<TimeNs, 2>, static_cast<size_t>(core::RuleTag::kCount)>
+      stall_by_rule_kind{};
+  TimeNs stall_unattributed = 0;
+  TimeNs StallByRule(core::RuleTag rule) const {
+    const auto& rk = stall_by_rule_kind[static_cast<size_t>(rule)];
+    return rk[0] + rk[1];
+  }
+
+  // Attributed stall per ordered-on resource, descending (name, ns).
+  std::vector<std::pair<std::string, TimeNs>> stall_by_resource;
+
+  // Time each replay thread owns on the path (thread_index, ns), descending.
+  std::vector<std::pair<uint32_t, TimeNs>> path_ns_by_thread;
+
+  std::vector<CritPathWhatIf> what_ifs;
+
+  std::string ToJson() const;
+  std::string OnePager() const;  // human-readable attribution table
+};
+
+struct CritPathOptions {
+  // Run-wide storage counters for the storage-layer split; leave
+  // have_storage false to skip the split (storage_*_ns stay zero).
+  storage::StorageCounters storage;
+  bool have_storage = false;
+  // Overlay the path on obs::DefaultTracer() (kCritPathTrack).
+  bool emit_trace = false;
+};
+
+// Virtual-domain pseudo-track the path overlay lands on (one above the I/O
+// scheduler's).
+inline constexpr uint32_t kCritPathTrack = (1u << 20) + 1;
+
+// Analyzes a finished replay. `report.outcomes` must be per-trace-index
+// (as BuildReport leaves them).
+CritPathReport AnalyzeCriticalPath(const core::CompiledBenchmark& bench,
+                                   const core::ReplayReport& report,
+                                   const CritPathOptions& options = {});
+
+// Convenience for sim-target runs: joins the result's storage counters in.
+CritPathReport AnalyzeSimReplay(const core::CompiledBenchmark& bench,
+                                const core::SimReplayResult& result,
+                                bool emit_trace = false);
+
+// Emits the path as spans + hop flow arrows on `tracer` (virtual domain,
+// kCritPathTrack). AnalyzeCriticalPath calls this when emit_trace is set.
+void EmitCritPathTrace(const CritPathReport& report, Tracer& tracer);
+
+}  // namespace artc::obs
+
+#endif  // SRC_OBS_CRITPATH_H_

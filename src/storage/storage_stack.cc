@@ -75,7 +75,41 @@ StorageStack::StorageStack(sim::Simulation* simulation, const StorageConfig& con
 
 StorageStack::~StorageStack() = default;
 
-void StorageStack::BlockingIo(uint64_t lba, uint32_t nblocks, bool is_write, uint32_t issuer) {
+void StorageStack::AccountService(TimeNs dt, ServiceCat cat) {
+  if (dt <= 0) {
+    return;
+  }
+  const sim::SimThreadId t = sim_->CurrentThread();
+  if (t != sim::kInvalidThread) {
+    if (service_ns_by_thread_.size() <= t) {
+      service_ns_by_thread_.resize(t + 1, 0);
+    }
+    service_ns_by_thread_[t] += dt;
+  }
+  switch (cat) {
+    case ServiceCat::kCache:
+      service_cache_ns_ += dt;
+      break;
+    case ServiceCat::kMediaRead:
+      service_media_read_ns_ += dt;
+      break;
+    case ServiceCat::kMediaWrite:
+      service_media_write_ns_ += dt;
+      break;
+    case ServiceCat::kWriteback:
+      service_writeback_ns_ += dt;
+      break;
+  }
+}
+
+TimeNs StorageStack::ServiceNsForCurrentThread() const {
+  const sim::SimThreadId t = sim_->CurrentThread();
+  return t < service_ns_by_thread_.size() ? service_ns_by_thread_[t] : 0;
+}
+
+void StorageStack::BlockingIo(uint64_t lba, uint32_t nblocks, bool is_write,
+                              uint32_t issuer, ServiceCat cat) {
+  const TimeNs t0 = sim_->Now();
   bool done = false;
   sim::SimCondVar cv(sim_);
   BlockRequest req;
@@ -94,6 +128,7 @@ void StorageStack::BlockingIo(uint64_t lba, uint32_t nblocks, bool is_write, uin
     cv.Wait();
   }
   ARTC_OBS_GAUGE_ADD("storage.inflight_requests", -1);
+  AccountService(sim_->Now() - t0, cat);
   if (is_write) {
     media_write_blocks_ += nblocks;
     ARTC_OBS_COUNT("storage.media_write_blocks", nblocks);
@@ -116,10 +151,13 @@ void StorageStack::Read(uint64_t lba, uint32_t nblocks, bool sequential_hint) {
       continue;
     }
     if (inflight_reads_.count(b) != 0) {
-      // Another thread is already fetching this block.
+      // Another thread is already fetching this block; waiting on its I/O
+      // is still time the media serves this reader.
+      const TimeNs w0 = sim_->Now();
       while (inflight_reads_.count(b) != 0) {
         inflight_cv_.Wait();
       }
+      AccountService(sim_->Now() - w0, ServiceCat::kMediaRead);
       continue;  // re-check residency
     }
     // Find the contiguous miss run within the request.
@@ -143,33 +181,36 @@ void StorageStack::Read(uint64_t lba, uint32_t nblocks, bool sequential_hint) {
     for (uint64_t i = b; i < b + fetch; ++i) {
       inflight_reads_.insert(i);
     }
-    BlockingIo(b, fetch, /*is_write=*/false, issuer);
+    BlockingIo(b, fetch, /*is_write=*/false, issuer, ServiceCat::kMediaRead);
     cache_->InsertClean(b, fetch);
     for (uint64_t i = b; i < b + fetch; ++i) {
       inflight_reads_.erase(i);
     }
     inflight_cv_.NotifyAll();
-    WriteBlocksOut(cache_->EvictToCapacity(), kAsyncIssuer);
+    WriteBlocksOut(cache_->EvictToCapacity(), kAsyncIssuer, ServiceCat::kWriteback);
     b += std::min<uint64_t>(fetch, miss_end - b);
   }
   if (hit_run > 0) {
     cache_->CountHit(hit_run);
     sim_->Sleep(cache_->params().hit_cost * hit_run);
+    AccountService(cache_->params().hit_cost * hit_run, ServiceCat::kCache);
   }
 }
 
 void StorageStack::Write(uint64_t lba, uint32_t nblocks) {
   cache_->InsertDirty(lba, nblocks);
   sim_->Sleep(cache_->params().hit_cost * nblocks);
-  WriteBlocksOut(cache_->EvictToCapacity(), sim_->CurrentThread());
+  AccountService(cache_->params().hit_cost * nblocks, ServiceCat::kCache);
+  WriteBlocksOut(cache_->EvictToCapacity(), sim_->CurrentThread(),
+                 ServiceCat::kWriteback);
   ThrottleDirty();
 }
 
 void StorageStack::WriteSync(uint64_t lba, uint32_t nblocks) {
   uint32_t issuer = sim_->CurrentThread();
   cache_->InsertClean(lba, nblocks);  // resident, not dirty: it's on media
-  BlockingIo(lba, nblocks, /*is_write=*/true, issuer);
-  WriteBlocksOut(cache_->EvictToCapacity(), issuer);
+  BlockingIo(lba, nblocks, /*is_write=*/true, issuer, ServiceCat::kMediaWrite);
+  WriteBlocksOut(cache_->EvictToCapacity(), issuer, ServiceCat::kWriteback);
 }
 
 void StorageStack::ThrottleDirty() {
@@ -179,11 +220,13 @@ void StorageStack::ThrottleDirty() {
     if (victims.empty()) {
       return;
     }
-    WriteBlocksOut(std::move(victims), sim_->CurrentThread());
+    WriteBlocksOut(std::move(victims), sim_->CurrentThread(),
+                   ServiceCat::kWriteback);
   }
 }
 
-void StorageStack::WriteBlocksOut(std::vector<uint64_t> blocks, uint32_t issuer) {
+void StorageStack::WriteBlocksOut(std::vector<uint64_t> blocks, uint32_t issuer,
+                                  ServiceCat cat) {
   if (blocks.empty()) {
     return;
   }
@@ -194,7 +237,8 @@ void StorageStack::WriteBlocksOut(std::vector<uint64_t> blocks, uint32_t issuer)
     while (j < blocks.size() && blocks[j] == blocks[j - 1] + 1) {
       j++;
     }
-    BlockingIo(blocks[i], static_cast<uint32_t>(j - i), /*is_write=*/true, issuer);
+    BlockingIo(blocks[i], static_cast<uint32_t>(j - i), /*is_write=*/true,
+               issuer, cat);
     i = j;
   }
 }
@@ -205,7 +249,8 @@ void StorageStack::Flush(const std::vector<std::pair<uint64_t, uint32_t>>& range
     std::vector<uint64_t> d = cache_->CollectDirty(lba, nblocks);
     dirty.insert(dirty.end(), d.begin(), d.end());
   }
-  WriteBlocksOut(std::move(dirty), sim_->CurrentThread());
+  WriteBlocksOut(std::move(dirty), sim_->CurrentThread(),
+                 ServiceCat::kMediaWrite);
 }
 
 void StorageStack::Discard(uint64_t lba, uint32_t nblocks) {
@@ -229,6 +274,10 @@ StorageCounters StorageStack::Counters() const {
     c.raid_member_read_blocks = raid.MemberReadBlocks();
     c.raid_member_write_blocks = raid.MemberWriteBlocks();
   }
+  c.service_cache_ns = service_cache_ns_;
+  c.service_media_read_ns = service_media_read_ns_;
+  c.service_media_write_ns = service_media_write_ns_;
+  c.service_writeback_ns = service_writeback_ns_;
   return c;
 }
 

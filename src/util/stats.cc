@@ -111,8 +111,10 @@ double Histogram::BucketUpperBound(size_t i) const {
 }
 
 double Histogram::Quantile(double q) const {
-  ARTC_CHECK(total_ > 0);
   ARTC_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return 0.0;
+  }
   const double target = q * static_cast<double>(total_);
   uint64_t cum = 0;
   for (size_t i = 0; i < counts_.size(); ++i) {

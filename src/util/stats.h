@@ -57,7 +57,7 @@ class Histogram {
   uint64_t Total() const { return total_; }
   // Value at quantile q in [0, 1], interpolated linearly within the
   // containing bucket. The overflow bucket has no upper bound, so quantiles
-  // landing there clamp to its lower edge. Requires at least one sample.
+  // landing there clamp to its lower edge. An empty histogram returns 0.
   double Quantile(double q) const;
 
  private:

@@ -177,8 +177,8 @@ TEST(Oracle, FlagsHappensBeforeViolation) {
 
   core::ReplayReport report;
   report.outcomes.resize(2);
-  report.outcomes[0] = {/*issue=*/10, /*complete=*/20, 0, 0, true};
-  report.outcomes[1] = {/*issue=*/25, /*complete=*/30, 0, 0, true};
+  report.outcomes[0] = {.issue = 10, .complete = 20, .executed = true};
+  report.outcomes[1] = {.issue = 25, .complete = 30, .executed = true};
   EXPECT_TRUE(CheckSchedule(model, bundle.trace, report).ok());
 
   // Now run them "in parallel": event 1 issues before event 0 completes.
@@ -194,8 +194,8 @@ TEST(Oracle, FlagsUnexecutedActions) {
   RefModel model = BuildRefModel(bundle);
   core::ReplayReport report;
   report.outcomes.resize(2);
-  report.outcomes[0] = {10, 20, 0, 0, true};
-  report.outcomes[1] = {25, 30, 0, 0, false};
+  report.outcomes[0] = {.issue = 10, .complete = 20, .executed = true};
+  report.outcomes[1] = {.issue = 25, .complete = 30, .executed = false};
   OracleFindings findings = CheckSchedule(model, bundle.trace, report);
   EXPECT_EQ(findings.unexecuted, 1u);
   EXPECT_FALSE(findings.ok());

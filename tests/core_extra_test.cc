@@ -57,8 +57,10 @@ TEST(Serialize, RoundTripPreservesEverything) {
       EXPECT_EQ(ad[d].event, bd[d].event);
       EXPECT_EQ(ad[d].kind, bd[d].kind);
       EXPECT_EQ(ad[d].rule, bd[d].rule);
+      EXPECT_EQ(ad[d].res, bd[d].res);
     }
   }
+  EXPECT_EQ(back.dep_resource_names, bench.dep_resource_names);
   EXPECT_EQ(back.dep_arena.size(), bench.dep_arena.size());
   EXPECT_EQ(back.edge_stats.TotalPruned(), bench.edge_stats.TotalPruned());
 }

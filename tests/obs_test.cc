@@ -206,6 +206,14 @@ TEST(HistogramQuantile, InterpolatesWithinBuckets) {
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
 }
 
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  artc::Histogram h({10.0, 20.0, 30.0});
+  EXPECT_EQ(h.Total(), 0u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
 TEST(HistogramQuantile, SpansBucketsAndClampsOverflow) {
   artc::Histogram h({10.0, 20.0});
   h.Add(5.0);    // first bucket, lower edge 0
