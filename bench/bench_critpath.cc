@@ -14,11 +14,15 @@
 #include <fstream>
 #include <string>
 
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/core/serialize.h"
+#include "src/core/suite.h"
 #include "src/obs/critpath.h"
 #include "src/obs/obs.h"
+#include "src/util/thread_pool.h"
 #include "src/workloads/magritte.h"
 #include "src/workloads/micro.h"
 
@@ -69,9 +73,8 @@ struct Options {
   std::string json_path;
 };
 
-int AnalyzeOne(const std::string& title, const CompiledBenchmark& bench,
-               const Options& opt) {
-  SimReplayResult result = core::ReplayCompiledOnSimTarget(bench, opt.target);
+int PrintPager(const std::string& title, const CompiledBenchmark& bench,
+               const SimReplayResult& result, const Options& opt) {
   obs::CritPathReport cp =
       obs::AnalyzeSimReplay(bench, result, /*emit_trace=*/true);
   std::printf("==== %s (%zu actions, %zu threads, %s/%s) ====\n",
@@ -89,6 +92,49 @@ int AnalyzeOne(const std::string& title, const CompiledBenchmark& bench,
     std::printf("wrote %s\n", opt.json_path.c_str());
   }
   return 0;
+}
+
+int AnalyzeOne(const std::string& title, const CompiledBenchmark& bench,
+               const Options& opt) {
+  SimReplayResult result = core::ReplayCompiledOnSimTarget(bench, opt.target);
+  return PrintPager(title, bench, result, opt);
+}
+
+// --all on the parallel backend: trace every Magritte workload, compile them
+// on the host thread pool (--jobs), then replay the whole suite as one
+// sharded simulation — one shard per workload — and analyze each shard.
+int AnalyzeSuiteParallel(const Options& opt) {
+  const std::vector<MagritteSpec>& specs = workloads::MagritteSuite();
+  std::vector<TracedRun> runs;
+  for (const MagritteSpec& spec : specs) {
+    SourceConfig source;
+    source.storage = storage::MakeNamedConfig("ssd");
+    source.platform = "osx";
+    source.seed = opt.seed;
+    runs.push_back(workloads::TraceMagritte(spec, source));
+  }
+  core::CompileOptions copt;
+  copt.method = core::ReplayMethod::kArtc;
+  std::vector<core::CompileJob> jobs;
+  for (const TracedRun& run : runs) {
+    jobs.push_back(core::CompileJob{&run.trace, &run.snapshot, copt});
+  }
+  util::ThreadPool pool(opt.target.jobs);
+  std::vector<CompiledBenchmark> benches = core::CompileSuite(jobs, &pool);
+
+  std::vector<const CompiledBenchmark*> ptrs;
+  for (const CompiledBenchmark& b : benches) {
+    ptrs.push_back(&b);
+  }
+  core::SuiteReplayResult suite = core::ReplaySuiteOnSimTarget(ptrs, opt.target);
+
+  int rc = 0;
+  for (size_t i = 0; i < benches.size(); ++i) {
+    rc |= PrintPager(specs[i].FullName(), benches[i], suite.runs[i], opt);
+  }
+  std::printf("suite: %zu workloads on %zu shards, %zu host workers\n",
+              benches.size(), suite.shards, suite.workers);
+  return rc;
 }
 
 CompiledBenchmark CompileMagritte(const MagritteSpec& spec, uint64_t seed) {
@@ -139,6 +185,17 @@ int Main(int argc, char** argv) {
   if (BoolFlag(argc, argv, "pacing")) {
     opt.target.replay.pacing = core::PacingMode::kNatural;
   }
+  const std::string backend = StringFlag(argc, argv, "backend", "");
+  if (!backend.empty() &&
+      !sim::ParseSimBackendName(backend, &opt.target.sim_backend)) {
+    std::fprintf(stderr,
+                 "unknown --backend=%s (expected fibers, threads, or parallel)\n",
+                 backend.c_str());
+    return 2;
+  }
+  // Host worker threads for compilation and the parallel backend
+  // (0 = ARTC_JOBS / core count).
+  opt.target.jobs = FlagValue(argc, argv, "jobs", 0);
   opt.json_path = StringFlag(argc, argv, "json", "");
 
   const std::string micro = StringFlag(argc, argv, "micro", "");
@@ -153,9 +210,12 @@ int Main(int argc, char** argv) {
     return AnalyzeOne(bench_path, bench, opt);
   }
   if (BoolFlag(argc, argv, "all")) {
-    int rc = 0;
     Options per = opt;
     per.json_path.clear();  // one pager per workload; JSON is single-run only
+    if (per.target.sim_backend == sim::SimBackend::kParallel) {
+      return AnalyzeSuiteParallel(per);
+    }
+    int rc = 0;
     for (const MagritteSpec& spec : workloads::MagritteSuite()) {
       rc |= AnalyzeOne(spec.FullName(), CompileMagritte(spec, opt.seed), per);
     }

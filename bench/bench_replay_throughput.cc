@@ -45,7 +45,7 @@ BackendRun TimeReplay(const core::CompiledBenchmark& bench, sim::SimBackend back
   auto end = std::chrono::steady_clock::now();
 
   BackendRun run;
-  run.name = backend == sim::SimBackend::kFibers ? "fibers" : "threads";
+  run.name = sim::SimBackendName(backend);
   run.host_wall_ms =
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - start)
           .count();
@@ -96,8 +96,10 @@ int Main(int argc, char** argv) {
   const uint32_t reads = static_cast<uint32_t>(FlagValue(argc, argv, "reads", 6500));
   const uint64_t seed = FlagValue(argc, argv, "seed", 1);
   const std::string which = StringFlag(argc, argv, "backend", "both");
-  if (which != "both" && which != "fibers" && which != "threads") {
-    std::fprintf(stderr, "unknown --backend=%s (expected fibers, threads, or both)\n",
+  sim::SimBackend single_backend = sim::SimBackend::kFibers;
+  if (which != "both" && !sim::ParseSimBackendName(which, &single_backend)) {
+    std::fprintf(stderr,
+                 "unknown --backend=%s (expected fibers, threads, parallel, or both)\n",
                  which.c_str());
     return 2;
   }
@@ -127,6 +129,10 @@ int Main(int argc, char** argv) {
   if (ran_threads) {
     threads_run = TimeReplay(bench, sim::SimBackend::kThreads, seed);
     PrintBackendJson(threads_run, actions, /*trailing_comma=*/false);
+  }
+  if (which == "parallel") {
+    BackendRun parallel = TimeReplay(bench, sim::SimBackend::kParallel, seed);
+    PrintBackendJson(parallel, actions, /*trailing_comma=*/false);
   }
   std::printf("  ],\n");
 

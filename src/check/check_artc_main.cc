@@ -116,6 +116,16 @@ int Main(int argc, char** argv) {
   opt.repro_dir = out_dir;
   opt.repro_obs_trace = FlagValue(argc, argv, "obs-repro", 0) != 0;
   opt.target.storage = storage::MakeNamedConfig(StringFlag(argc, argv, "storage", "ssd"));
+  const std::string backend = StringFlag(argc, argv, "backend", "");
+  if (!backend.empty() &&
+      !sim::ParseSimBackendName(backend, &opt.target.sim_backend)) {
+    std::fprintf(stderr,
+                 "unknown --backend=%s (expected fibers, threads, or parallel)\n",
+                 backend.c_str());
+    return 2;
+  }
+  // 0 = ARTC_JOBS / host core count; forwarded to the parallel backend.
+  opt.target.jobs = FlagValue(argc, argv, "jobs", 0);
 
   sim::ScheduleSpec repro_spec;
   if (!schedule.empty() && !ParseScheduleSpec(schedule, &repro_spec)) {

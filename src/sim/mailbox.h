@@ -1,0 +1,82 @@
+// Cross-shard message plumbing for the windowed parallel backend.
+//
+// Each shard owns one inbox. During a synchronization window any shard's
+// execution (running on its worker thread) may push messages into any other
+// shard's inbox — multiple producers, and exactly one consumer: the window
+// coordinator, which drains every inbox at the window barrier, sorts the
+// messages into a canonical order, and inserts them into the receiving
+// shard's event queue at their effect time.
+//
+// Determinism: a message's effect time is sender-virtual-time + δ (the
+// cross-shard latency), which the horizon rule guarantees is >= the global
+// window horizon — strictly in every shard's unprocessed future. The
+// barrier sort key (effect, sender shard, sender sequence) depends only on
+// virtual-time state, never on host-thread arrival order, so delivery is
+// bit-identical for any worker count. See DESIGN.md §5f.
+#ifndef SRC_SIM_MAILBOX_H_
+#define SRC_SIM_MAILBOX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace artc::sim {
+
+struct ShardMessage {
+  enum class Kind : uint8_t {
+    kJoinRequest,  // `joiner` (on sender shard) wants to join `target`
+    kJoinDone,     // `target` finished; wake `joiner` (on receiver shard)
+  };
+
+  Kind kind = Kind::kJoinRequest;
+  TimeNs effect = 0;        // receiver-side virtual time the message lands
+  uint32_t from_shard = 0;  // sender shard index (sort key)
+  uint64_t from_seq = 0;    // sender-shard send counter (sort key)
+  uint32_t joiner = 0;      // SimThreadId of the joining thread
+  uint32_t target = 0;      // SimThreadId of the join target
+};
+
+// MPSC inbox: any worker pushes, only the window coordinator drains, and
+// only at a barrier (no worker is executing a window during a drain). A
+// mutex-guarded vector is all the structure that access pattern needs; the
+// lock is uncontended except when two senders target the same shard within
+// one window.
+class ShardMailbox {
+ public:
+  void Push(const ShardMessage& m) {
+    std::lock_guard<std::mutex> lk(mu_);
+    messages_.push_back(m);
+  }
+
+  // Drains and canonically orders the pending messages.
+  std::vector<ShardMessage> DrainSorted() {
+    std::vector<ShardMessage> out;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      out.swap(messages_);
+    }
+    std::sort(out.begin(), out.end(), [](const ShardMessage& a, const ShardMessage& b) {
+      if (a.effect != b.effect) return a.effect < b.effect;
+      if (a.from_shard != b.from_shard) return a.from_shard < b.from_shard;
+      return a.from_seq < b.from_seq;
+    });
+    return out;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return messages_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ShardMessage> messages_;
+};
+
+}  // namespace artc::sim
+
+#endif  // SRC_SIM_MAILBOX_H_

@@ -1,14 +1,26 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/obs/obs.h"
 
 namespace artc::util {
 
+size_t DefaultJobs() {
+  if (const char* env = std::getenv("ARTC_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(size_t workers) {
   if (workers == 0) {
-    workers = std::max(1u, std::thread::hardware_concurrency());
+    workers = DefaultJobs();
   }
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {

@@ -17,9 +17,16 @@
 
 namespace artc::util {
 
+// The process-wide host-parallelism default: the ARTC_JOBS environment
+// variable if set to a positive integer, else hardware_concurrency (min 1).
+// Everything that sizes a worker team without an explicit count — ThreadPool
+// construction, the kParallel simulation backend, the bench/check mains'
+// --jobs flags — funnels through this one policy.
+size_t DefaultJobs();
+
 class ThreadPool {
  public:
-  // workers == 0 picks std::thread::hardware_concurrency() (min 1).
+  // workers == 0 picks DefaultJobs() (ARTC_JOBS / hardware_concurrency).
   explicit ThreadPool(size_t workers = 0);
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;

@@ -1,14 +1,18 @@
-// Differential test for the two Simulation context-switch backends: the
-// fiber backend (default) and the host-thread token-passing backend must
-// produce bit-identical schedules for the same seed — same virtual end
-// time, same switch count, same side-effect order, same replay reports.
-// The scheduler (ready list, RNG, event queue) is shared between backends,
-// so any divergence means the context-switch layer leaked into scheduling.
+// Differential test for the three Simulation context-switch backends: the
+// fiber backend (default), the host-thread token-passing backend, and the
+// sharded parallel backend must produce bit-identical schedules for the
+// same seed — same virtual end time, same switch count, same side-effect
+// order, same replay reports. The scheduler (ready list, RNG, event queue)
+// is shared between backends, so any divergence means the context-switch
+// layer (or, for kParallel, the window machinery) leaked into scheduling.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "src/core/artc.h"
+#include "src/obs/critpath.h"
+#include "src/sim/schedule.h"
 #include "src/sim/simulation.h"
 #include "src/workloads/micro.h"
 #include "src/workloads/workload.h"
@@ -22,6 +26,9 @@ using sim::SimBackend;
 using sim::SimCondVar;
 using sim::SimMutex;
 using sim::Simulation;
+
+constexpr SimBackend kAllBackends[] = {SimBackend::kFibers, SimBackend::kThreads,
+                                       SimBackend::kParallel};
 
 // A deliberately messy program exercising every scheduling primitive:
 // seeded ready-list picks, sleeps, condvars (NotifyOne's RNG choice),
@@ -84,18 +91,21 @@ TEST(SimBackendParity, ChaosProgramIdenticalAcrossBackends) {
   for (uint64_t seed : {1ull, 7ull, 42ull, 20260806ull}) {
     ChaosResult fibers = RunChaos(seed, SimBackend::kFibers);
     ChaosResult threads = RunChaos(seed, SimBackend::kThreads);
+    ChaosResult parallel = RunChaos(seed, SimBackend::kParallel);
     EXPECT_EQ(fibers, threads) << "seed " << seed;
+    EXPECT_EQ(fibers, parallel) << "seed " << seed;
     EXPECT_FALSE(fibers.order.empty());
   }
 }
 
 TEST(SimBackendParity, DeterministicWithinEachBackend) {
-  EXPECT_EQ(RunChaos(9, SimBackend::kFibers), RunChaos(9, SimBackend::kFibers));
-  EXPECT_EQ(RunChaos(9, SimBackend::kThreads), RunChaos(9, SimBackend::kThreads));
+  for (SimBackend backend : kAllBackends) {
+    EXPECT_EQ(RunChaos(9, backend), RunChaos(9, backend));
+  }
 }
 
-TEST(SimBackendParity, DeadlockUnwindsCleanlyOnBothBackends) {
-  for (SimBackend backend : {SimBackend::kFibers, SimBackend::kThreads}) {
+TEST(SimBackendParity, DeadlockUnwindsCleanlyOnAllBackends) {
+  for (SimBackend backend : kAllBackends) {
     auto sim = std::make_unique<Simulation>(1, backend);
     SimCondVar cv(sim.get());
     sim->Spawn("stuck", [&] { cv.Wait(); });
@@ -105,42 +115,99 @@ TEST(SimBackendParity, DeadlockUnwindsCleanlyOnBothBackends) {
   }
 }
 
-// Full pipeline: trace a multithreaded workload once, replay the compiled
-// benchmark on both backends, and require identical reports down to the
-// per-action timestamps.
-TEST(SimBackendParity, ReplayReportsIdenticalAcrossBackends) {
+core::CompiledBenchmark CompileParityBench() {
   workloads::RandomReaders::Options opt;
   opt.threads = 4;
   opt.reads_per_thread = 60;
   opt.file_bytes = 64ULL << 20;
   workloads::RandomReaders workload(opt);
   workloads::TracedRun run = workloads::TraceWorkload(workload, {});
+  return core::Compile(run.trace, run.snapshot, {});
+}
 
-  core::CompiledBenchmark bench = core::Compile(run.trace, run.snapshot, {});
+void ExpectIdenticalReplays(const SimReplayResult& a, const SimReplayResult& b,
+                            const char* label) {
+  EXPECT_EQ(a.sim_end_time, b.sim_end_time) << label;
+  EXPECT_EQ(a.sim_switches, b.sim_switches) << label;
+  EXPECT_EQ(a.report.wall_time, b.report.wall_time) << label;
+  EXPECT_EQ(a.report.total_events, b.report.total_events) << label;
+  EXPECT_EQ(a.report.failed_events, b.report.failed_events) << label;
+  EXPECT_EQ(a.report.total_dep_stall, b.report.total_dep_stall) << label;
+  ASSERT_EQ(a.report.outcomes.size(), b.report.outcomes.size()) << label;
+  for (size_t i = 0; i < a.report.outcomes.size(); ++i) {
+    const core::ActionOutcome& x = a.report.outcomes[i];
+    const core::ActionOutcome& y = b.report.outcomes[i];
+    ASSERT_EQ(x.issue, y.issue) << label << " action " << i;
+    ASSERT_EQ(x.complete, y.complete) << label << " action " << i;
+    ASSERT_EQ(x.ret, y.ret) << label << " action " << i;
+  }
+}
+
+// Full pipeline: trace a multithreaded workload once, replay the compiled
+// benchmark on all three backends, and require identical reports down to
+// the per-action timestamps — also under the exploration schedule policies
+// (random / PCT), which consume extra RNG at every choice point and so
+// catch any backend that perturbs choice-point order.
+TEST(SimBackendParity, ReplayReportsIdenticalAcrossBackends) {
+  core::CompiledBenchmark bench = CompileParityBench();
   ASSERT_GT(bench.actions.size(), 200u);
 
+  sim::ScheduleSpec random_spec;
+  random_spec.kind = sim::ScheduleKind::kRandom;
+  random_spec.seed = 77;
+  sim::ScheduleSpec pct_spec;
+  pct_spec.kind = sim::ScheduleKind::kPct;
+  pct_spec.seed = 77;
+  pct_spec.pct_change_points = 5;
+  pct_spec.pct_horizon = 4000;
+  for (const sim::ScheduleSpec& spec :
+       {sim::ScheduleSpec{}, random_spec, pct_spec}) {
+    const std::string schedule_name = spec.ToString();
+    const char* schedule = schedule_name.c_str();
+    SimTarget target;
+    target.seed = 12345;
+    target.schedule = spec;
+    target.sim_backend = SimBackend::kFibers;
+    SimReplayResult fibers = core::ReplayCompiledOnSimTarget(bench, target);
+    target.sim_backend = SimBackend::kThreads;
+    SimReplayResult threads = core::ReplayCompiledOnSimTarget(bench, target);
+    target.sim_backend = SimBackend::kParallel;
+    SimReplayResult parallel = core::ReplayCompiledOnSimTarget(bench, target);
+
+    ExpectIdenticalReplays(fibers, threads, schedule);
+    ExpectIdenticalReplays(fibers, parallel, schedule);
+    EXPECT_GT(fibers.sim_switches, 0u);
+  }
+}
+
+// Critical-path analysis consumes the replay report + compiled benchmark
+// only, so identical replays must yield identical stall attributions on
+// every backend (and turning the analyzer on must not perturb the replay).
+TEST(SimBackendParity, CritPathIdenticalAcrossBackends) {
+  core::CompiledBenchmark bench = CompileParityBench();
+
   SimTarget target;
-  target.seed = 12345;
+  target.seed = 999;
   target.sim_backend = SimBackend::kFibers;
   SimReplayResult fibers = core::ReplayCompiledOnSimTarget(bench, target);
-  target.sim_backend = SimBackend::kThreads;
-  SimReplayResult threads = core::ReplayCompiledOnSimTarget(bench, target);
+  obs::CritPathReport base = obs::AnalyzeSimReplay(bench, fibers);
 
-  EXPECT_EQ(fibers.sim_end_time, threads.sim_end_time);
-  EXPECT_EQ(fibers.sim_switches, threads.sim_switches);
-  EXPECT_EQ(fibers.report.wall_time, threads.report.wall_time);
-  EXPECT_EQ(fibers.report.total_events, threads.report.total_events);
-  EXPECT_EQ(fibers.report.failed_events, threads.report.failed_events);
-  EXPECT_EQ(fibers.report.total_dep_stall, threads.report.total_dep_stall);
-  ASSERT_EQ(fibers.report.outcomes.size(), threads.report.outcomes.size());
-  for (size_t i = 0; i < fibers.report.outcomes.size(); ++i) {
-    const core::ActionOutcome& a = fibers.report.outcomes[i];
-    const core::ActionOutcome& b = threads.report.outcomes[i];
-    ASSERT_EQ(a.issue, b.issue) << "action " << i;
-    ASSERT_EQ(a.complete, b.complete) << "action " << i;
-    ASSERT_EQ(a.ret, b.ret) << "action " << i;
+  for (SimBackend backend : {SimBackend::kThreads, SimBackend::kParallel}) {
+    target.sim_backend = backend;
+    SimReplayResult other = core::ReplayCompiledOnSimTarget(bench, target);
+    obs::CritPathReport cp = obs::AnalyzeSimReplay(bench, other);
+    EXPECT_EQ(base.segments.size(), cp.segments.size());
+    EXPECT_EQ(base.end_time, cp.end_time);
+    EXPECT_EQ(base.exec_ns, cp.exec_ns);
+    EXPECT_EQ(base.stall_ns, cp.stall_ns);
+    EXPECT_EQ(base.pacing_ns, cp.pacing_ns);
+    EXPECT_EQ(base.stall_unattributed, cp.stall_unattributed);
+    for (size_t i = 0; i < base.stall_by_rule_kind.size(); ++i) {
+      EXPECT_EQ(base.stall_by_rule_kind[i], cp.stall_by_rule_kind[i])
+          << "rule " << i;
+    }
+    EXPECT_EQ(base.stall_by_resource, cp.stall_by_resource);
   }
-  EXPECT_GT(fibers.sim_switches, 0u);
 }
 
 }  // namespace
