@@ -1,26 +1,37 @@
 // Compile-pipeline throughput harness: times each stage of turning a raw
-// trace into a replayable benchmark — text parse, resource annotation, and
-// full compile (annotate + dep emission + pruning) — on a large synthetic
-// multithreaded trace, in host time. Prints a single JSON object so
-// successive PRs can track the perf trajectory.
+// trace into a replayable benchmark — sequential text parse, chunked
+// parallel parse (text and ARTCT binary), resource annotation, full
+// compile (annotate + dep emission + pruning), and the windowed streaming
+// compile — on a large synthetic multithreaded trace, in host time. Prints
+// a single JSON object so successive PRs can track the perf trajectory.
 //
 // Usage:
 //   bench_compile_throughput [--threads=N] [--reads=N] [--repeat=N]
+//                            [--jobs=N]
 //
 // Defaults produce a ~100k-action, 16-thread trace. Stage timings are the
 // minimum over --repeat runs (minimum, not mean: we are measuring the code,
-// not the machine's background noise).
+// not the machine's background noise). peak_rss_bytes is the process-wide
+// high-water mark, reported last so it covers every stage.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "src/core/compile_stream.h"
 #include "src/core/compiler.h"
 #include "src/fsmodel/resource_model.h"
 #include "src/obs/obs.h"
+#include "src/trace/binary_trace.h"
+#include "src/trace/stream_reader.h"
 #include "src/trace/trace_io.h"
 #include "src/workloads/micro.h"
 #include "src/workloads/workload.h"
@@ -46,10 +57,25 @@ uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t def) {
   return def;
 }
 
+uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<uint64_t>(ru.ru_maxrss);  // bytes on Darwin
+#else
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const uint32_t threads = static_cast<uint32_t>(FlagValue(argc, argv, "threads", 16));
   const uint32_t reads = static_cast<uint32_t>(FlagValue(argc, argv, "reads", 6500));
   const int repeat = static_cast<int>(FlagValue(argc, argv, "repeat", 3));
+  const size_t jobs = static_cast<size_t>(FlagValue(argc, argv, "jobs", 4));
 
   workloads::RandomReaders::Options opt;
   opt.threads = threads;
@@ -63,7 +89,30 @@ int Main(int argc, char** argv) {
   trace::WriteTrace(traced.trace, text);
   const std::string trace_text = text.str();
 
+  // On-disk copies (text bundle + ARTCT) for the file-based ingest stages.
+  // Written once, untimed; timed stages below read them back.
+  namespace fs = std::filesystem;
+  const std::string tmp_prefix =
+      (fs::temp_directory_path() / "artc_bench_compile").string();
+  const std::string text_path = tmp_prefix + ".trace";
+  const std::string artct_path = tmp_prefix + ".artct";
+  {
+    trace::TraceBundle bundle;
+    bundle.trace = traced.trace;
+    bundle.snapshot = traced.snapshot;
+    trace::WriteTraceBundleFile(bundle, text_path);
+    std::string werr;
+    if (!trace::WriteArtctFile(artct_path, traced.trace, traced.snapshot,
+                               &werr)) {
+      std::fprintf(stderr, "ARTCT write failed: %s\n", werr.c_str());
+      return 1;
+    }
+  }
+
   double parse_ns = 0, annotate_ns = 0, compile_ns = 0, compile_unpruned_ns = 0;
+  double parse_parallel_ns = 0, artct_parse_ns = 0, stream_compile_ns = 0;
+  uint64_t stream_peak_state_bytes = 0;
+  uint64_t stream_digest = 0;
   trace::Trace parsed;
   core::CompiledBenchmark bench;
   core::CompiledBenchmark unpruned;
@@ -74,6 +123,60 @@ int Main(int argc, char** argv) {
       parsed = trace::ReadTrace(in);
       double ns = ElapsedNs(t0);
       parse_ns = i == 0 ? ns : std::min(parse_ns, ns);
+    }
+    {
+      // Chunked parallel text parse: the production entry point for large
+      // captures. Small chunk size so even this ~7 MB fixture splits.
+      trace::ParallelReadOptions popt;
+      popt.jobs = jobs;
+      popt.chunk_bytes = 1 << 20;
+      trace::ParallelReadResult res;
+      trace::ParseDiag diag;
+      auto t0 = Clock::now();
+      if (!trace::ParallelReadTraceFile(text_path, popt, &res, &diag)) {
+        std::fprintf(stderr, "parallel parse failed: %s\n",
+                     diag.Format().c_str());
+        return 1;
+      }
+      double ns = ElapsedNs(t0);
+      parse_parallel_ns = i == 0 ? ns : std::min(parse_parallel_ns, ns);
+      if (res.bundle.trace.events.size() != traced.trace.events.size()) {
+        std::fprintf(stderr, "parallel parse event count mismatch\n");
+        return 1;
+      }
+    }
+    {
+      // Binary ARTCT decode through the same parallel front door.
+      trace::ParallelReadOptions popt;
+      popt.jobs = jobs;
+      trace::ParallelReadResult res;
+      trace::ParseDiag diag;
+      auto t0 = Clock::now();
+      if (!trace::ParallelReadTraceFile(artct_path, popt, &res, &diag)) {
+        std::fprintf(stderr, "ARTCT parse failed: %s\n", diag.Format().c_str());
+        return 1;
+      }
+      double ns = ElapsedNs(t0);
+      artct_parse_ns = i == 0 ? ns : std::min(artct_parse_ns, ns);
+    }
+    {
+      // Windowed streaming compile straight off the ARTCT file (parse +
+      // annotate + dep emission + pruning in one bounded-memory pass).
+      trace::StreamReaderOptions sopt;
+      sopt.window_events = 1 << 16;
+      core::CompileStreamFileResult sres;
+      trace::ParseDiag diag;
+      auto t0 = Clock::now();
+      if (!core::CompileStreamFile(artct_path, sopt, {}, &sres, nullptr,
+                                   &diag)) {
+        std::fprintf(stderr, "stream compile failed: %s\n",
+                     diag.Format().c_str());
+        return 1;
+      }
+      double ns = ElapsedNs(t0);
+      stream_compile_ns = i == 0 ? ns : std::min(stream_compile_ns, ns);
+      stream_peak_state_bytes = sres.peak_state_bytes;
+      stream_digest = sres.digest;
     }
     // Annotate once per iteration; the compile stage consumes this
     // annotation (the production pipeline shape — compiling does not
@@ -119,7 +222,13 @@ int Main(int argc, char** argv) {
   std::printf("  \"actions\": %zu,\n", actions);
   std::printf("  \"replay_threads\": %zu,\n", bench.thread_actions.size());
   std::printf("  \"repeat\": %d,\n", repeat);
+  std::printf("  \"parse_jobs\": %zu,\n", jobs);
   std::printf("  \"parse_ns\": %.0f,\n", parse_ns);
+  std::printf("  \"parse_parallel_ns\": %.0f,\n", parse_parallel_ns);
+  std::printf("  \"artct_parse_ns\": %.0f,\n", artct_parse_ns);
+  std::printf("  \"stream_compile_ns\": %.0f,\n", stream_compile_ns);
+  std::printf("  \"stream_peak_state_bytes\": %llu,\n",
+              static_cast<unsigned long long>(stream_peak_state_bytes));
   std::printf("  \"annotate_ns\": %.0f,\n", annotate_ns);
   std::printf("  \"compile_ns\": %.0f,\n", compile_ns);
   std::printf("  \"compile_unpruned_ns\": %.0f,\n", compile_unpruned_ns);
@@ -131,14 +240,26 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(bench.dep_arena.size()));
   std::printf("  \"edges_pruned\": %llu,\n",
               static_cast<unsigned long long>(bench.edge_stats.TotalPruned()));
-  std::printf("  \"dep_arena_peak_bytes\": %llu\n",
+  std::printf("  \"dep_arena_peak_bytes\": %llu,\n",
               static_cast<unsigned long long>(bench.dep_arena_peak_bytes));
+  std::printf("  \"peak_rss_bytes\": %llu\n",
+              static_cast<unsigned long long>(PeakRssBytes()));
   std::printf("}\n");
+
+  std::error_code ec;
+  fs::remove(text_path, ec);
+  fs::remove(artct_path, ec);
 
   // Sanity: pruning must only ever remove edges, never add or reorder.
   if (bench.dep_arena.size() + bench.edge_stats.TotalPruned() !=
       unpruned.dep_arena.size()) {
     std::fprintf(stderr, "pruned + kept != emitted\n");
+    return 1;
+  }
+  // Sanity: the streaming compile must be bit-identical to the in-memory
+  // pipeline whose numbers it sits next to.
+  if (stream_digest != core::DigestBenchmark(bench)) {
+    std::fprintf(stderr, "stream digest != batch digest\n");
     return 1;
   }
   return 0;

@@ -12,13 +12,25 @@
 //                [--fs ext4|ext3|jfs|xfs] [--natural]
 //                [--save out.artcb]
 //   artc_compile --load bench.artcb [--replay-on ...]
+//
+// --trace accepts text traces/bundles AND ARTCT binary files (sniffed by
+// magic; an ARTCT file carries its own snapshot). With --stream the trace
+// is compiled through the windowed streaming pipeline (core::CompileStream)
+// in bounded memory and only the canonical digest plus streaming statistics
+// are printed; --window bounds the events resident per window. --digest
+// prints the canonical benchmark digest in the batch path too, so the two
+// pipelines can be compared with a diff.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "src/core/artc.h"
+#include "src/core/compile_stream.h"
 #include "src/core/serialize.h"
+#include "src/trace/binary_trace.h"
 #include "src/trace/strace_parser.h"
+#include "src/trace/stream_reader.h"
 #include "src/trace/trace_io.h"
 
 namespace {
@@ -29,7 +41,7 @@ void Usage() {
                "                    [--method artc|single|temporal|unconstrained]\n"
                "                    [--no-file-seq] [--no-path-order] [--no-fd-stage]\n"
                "                    [--fd-seq] [--replay-on CONFIG] [--fs PROFILE]\n"
-               "                    [--natural]\n");
+               "                    [--natural] [--stream] [--window N] [--digest]\n");
 }
 
 }  // namespace
@@ -43,6 +55,9 @@ int main(int argc, char** argv) {
   std::string fs_profile = "ext4";
   bool strace_format = false;
   bool natural = false;
+  bool stream = false;
+  bool print_digest = false;
+  uint64_t window_events = 1 << 20;
   artc::core::CompileOptions copt;
 
   for (int i = 1; i < argc; ++i) {
@@ -80,6 +95,12 @@ int main(int argc, char** argv) {
       save_path = next();
     } else if (arg == "--load") {
       load_path = next();
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--window") {
+      window_events = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--digest") {
+      print_digest = true;
     } else {
       Usage();
       return 2;
@@ -90,9 +111,46 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (stream) {
+    if (trace_path.empty() || strace_format) {
+      Usage();
+      return 2;
+    }
+    artc::trace::StreamReaderOptions ropts;
+    ropts.window_events = window_events;
+    artc::core::CompileStreamOptions sopts;
+    sopts.compile = copt;
+    artc::core::CompileStreamFileResult res;
+    artc::trace::ParseDiag diag;
+    if (!artc::core::CompileStreamFile(trace_path, ropts, sopts, &res,
+                                       nullptr, &diag)) {
+      std::fprintf(stderr, "error: %s\n", diag.Format().c_str());
+      return 1;
+    }
+    std::printf("stream-compiled %llu events in %llu windows (window=%llu)\n",
+                static_cast<unsigned long long>(res.events),
+                static_cast<unsigned long long>(res.windows),
+                static_cast<unsigned long long>(window_events));
+    std::printf("peak streaming state: %.1f MB\n",
+                static_cast<double>(res.peak_state_bytes) / 1e6);
+    std::printf("digest: %016llx\n",
+                static_cast<unsigned long long>(res.digest));
+    return 0;
+  }
+
   artc::trace::Trace t;
+  artc::trace::FsSnapshot snapshot;
   if (!load_path.empty()) {
     // Benchmark comes from the .artcb file; no trace to parse.
+  } else if (artc::trace::SniffArtctFile(trace_path)) {
+    artc::trace::TraceBundle bundle;
+    std::string error;
+    if (!artc::trace::ReadArtctFile(trace_path, &bundle, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    t = std::move(bundle.trace);
+    snapshot = std::move(bundle.snapshot);
   } else if (strace_format) {
     artc::trace::StraceParseResult parsed = artc::trace::ParseStraceFile(trace_path);
     if (parsed.skipped_lines > 0) {
@@ -103,9 +161,13 @@ int main(int argc, char** argv) {
     t = std::move(parsed.trace);
     t.SortByEnterTime();
   } else {
-    t = artc::trace::ReadTraceFile(trace_path);
+    // Bundle-aware: text traces written by this toolchain carry their
+    // snapshot inline ("#snapshot ..." lines); a bare trace file simply
+    // yields an empty snapshot, exactly like ReadTraceFile did.
+    artc::trace::TraceBundle bundle = artc::trace::ReadTraceBundleFile(trace_path);
+    t = std::move(bundle.trace);
+    snapshot = std::move(bundle.snapshot);
   }
-  artc::trace::FsSnapshot snapshot;
   if (!snapshot_path.empty()) {
     snapshot = artc::trace::ReadSnapshotFile(snapshot_path);
   }
@@ -122,6 +184,11 @@ int main(int argc, char** argv) {
   }
   std::printf("trace: %zu events, %zu threads\n", bench.actions.size(),
               bench.thread_actions.size());
+  if (print_digest) {
+    std::printf("digest: %016llx\n",
+                static_cast<unsigned long long>(
+                    artc::core::DigestBenchmark(bench)));
+  }
   std::printf("slots: %u fd, %u aio; model warnings: %llu\n", bench.fd_slot_count,
               bench.aio_slot_count,
               static_cast<unsigned long long>(bench.model_warnings));

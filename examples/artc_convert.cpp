@@ -1,0 +1,137 @@
+// artc_convert: converts traces between the native text format, the strace
+// capture format, and the ARTCT binary format. Input format is sniffed
+// (ARTCT magic) or forced with --strace; output format follows --to (or is
+// inferred: binary input converts to text, text input to binary). Text
+// parsing fans out across --jobs workers on multi-GB inputs.
+//
+// Usage:
+//   artc_convert --in trace.txt  --out trace.artct [--jobs N]
+//                [--chunk-events N] [--skip-bad-lines]
+//   artc_convert --in trace.artct --out trace.txt
+//   artc_convert --in app.strace --strace --snapshot s.snap --out t.artct
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/trace/binary_trace.h"
+#include "src/trace/snapshot.h"
+#include "src/trace/strace_parser.h"
+#include "src/trace/stream_reader.h"
+#include "src/trace/trace_io.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: artc_convert --in FILE --out FILE [--to artct|text]\n"
+               "                    [--strace] [--snapshot FILE] [--jobs N]\n"
+               "                    [--chunk-events N] [--skip-bad-lines]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string out_path;
+  std::string to;
+  std::string snapshot_path;
+  bool strace_format = false;
+  bool skip_bad_lines = false;
+  size_t jobs = 0;
+  uint32_t chunk_events = artc::trace::kArtctDefaultChunkEvents;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--in") {
+      in_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--to") {
+      to = next();
+    } else if (arg == "--strace") {
+      strace_format = true;
+    } else if (arg == "--snapshot") {
+      snapshot_path = next();
+    } else if (arg == "--jobs") {
+      jobs = static_cast<size_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--chunk-events") {
+      chunk_events =
+          static_cast<uint32_t>(std::strtoull(next().c_str(), nullptr, 10));
+    } else if (arg == "--skip-bad-lines") {
+      skip_bad_lines = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (in_path.empty() || out_path.empty()) {
+    Usage();
+    return 2;
+  }
+
+  artc::trace::TraceBundle bundle;
+  bool input_binary = false;
+  if (strace_format) {
+    artc::trace::StraceParseResult parsed;
+    artc::trace::ParseDiag diag;
+    if (!artc::trace::ParseStraceFile(in_path, &parsed, &diag)) {
+      std::fprintf(stderr, "error: %s\n", diag.Format().c_str());
+      return 1;
+    }
+    if (parsed.skipped_lines > 0) {
+      std::fprintf(stderr, "warning: skipped %llu lines (first: %s)\n",
+                   static_cast<unsigned long long>(parsed.skipped_lines),
+                   diag.Format().c_str());
+    }
+    bundle.trace = std::move(parsed.trace);
+    bundle.trace.SortByEnterTime();
+  } else {
+    artc::trace::ParallelReadOptions opt;
+    opt.jobs = jobs;
+    opt.skip_bad_lines = skip_bad_lines;
+    artc::trace::ParallelReadResult res;
+    artc::trace::ParseDiag diag;
+    if (!artc::trace::ParallelReadTraceFile(in_path, opt, &res, &diag)) {
+      std::fprintf(stderr, "error: %s\n", diag.Format().c_str());
+      return 1;
+    }
+    if (res.skipped_lines > 0) {
+      std::fprintf(stderr, "warning: skipped %llu lines (first: %s)\n",
+                   static_cast<unsigned long long>(res.skipped_lines),
+                   res.first_skip.Format().c_str());
+    }
+    bundle = std::move(res.bundle);
+    input_binary = res.from_binary;
+  }
+  if (!snapshot_path.empty()) {
+    bundle.snapshot = artc::trace::ReadSnapshotFile(snapshot_path);
+  }
+
+  const bool to_binary = to.empty() ? !input_binary : to == "artct";
+  if (!to.empty() && to != "artct" && to != "text") {
+    Usage();
+    return 2;
+  }
+  if (to_binary) {
+    std::string error;
+    if (!artc::trace::WriteArtctFile(out_path, bundle.trace, bundle.snapshot,
+                                     &error, chunk_events)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    artc::trace::WriteTraceBundleFile(bundle, out_path);
+  }
+  std::printf("%s: %zu events, %zu snapshot entries -> %s (%s)\n",
+              in_path.c_str(), bundle.trace.events.size(),
+              bundle.snapshot.entries.size(), out_path.c_str(),
+              to_binary ? "artct" : "text");
+  return 0;
+}

@@ -3,441 +3,84 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "src/core/dep_builder.h"
 #include "src/fsmodel/resource_model.h"
 #include "src/obs/obs.h"
 #include "src/util/check.h"
-#include "src/util/strings.h"
 
 namespace artc::core {
 namespace {
 
-using fsmodel::Access;
 using fsmodel::AnnotatedTrace;
-using fsmodel::kNoResource;
-using fsmodel::ResourceKind;
+using internal::DepBuilder;
+using internal::DepPruner;
+using internal::EventMeta;
 
-// Per-resource scan state (the paper's "last action / creating action /
-// remaining uses" bookkeeping).
-struct Cursor {
-  uint32_t create_event = kNoEvent;
-  uint32_t last_event = kNoEvent;
-  // Last use per replay thread since create (a delete must wait for every
-  // outstanding use, but one completion-dep per thread suffices: each
-  // thread's later use subsumes its earlier ones).
-  std::vector<std::pair<uint32_t, uint32_t>> last_use_by_thread;
-  // Threads that already hold a dep on create_event (a second dep from the
-  // same thread is transitively implied by thread ordering).
-  std::vector<uint32_t> create_waiters;
-  bool touched = false;
-};
+// Flushes the builder's scratch (event cur's deps) into the CSR arena.
+void FlushDeps(DepBuilder& builder, uint32_t index, CompiledBenchmark* out) {
+  std::vector<Dep>& arena = out->dep_arena;
+  const std::vector<Dep>& deps = builder.deps();
+  arena.insert(arena.end(), deps.begin(), deps.end());
+  out->dep_offsets[index + 1] = static_cast<uint32_t>(arena.size());
+}
 
-// Builds the dependency CSR arena in one streaming pass: deps of the
-// current event accumulate (sorted, deduped) in a small reusable scratch
-// vector, then flush to the shared arena when the event finishes.
-class DepBuilder {
- public:
-  DepBuilder(const AnnotatedTrace& annotated, CompiledBenchmark* out)
-      : ann_(annotated), out_(out) {
-    cursors_.resize(ann_.resources.size());
-    out_->dep_arena.clear();
-    out_->dep_offsets.assign(out_->events.size() + 1, 0);
-  }
-
-  // Per-event ARTC emission, driven from the compiler's single streaming
-  // pass over the trace (the same loop that fills actions and wires remap
-  // slots): BeginEvent, then ArtcTouch per annotation touch, then
-  // FinishEvent.
-  void ArtcTouch(const fsmodel::Touch& touch, const ReplayModes& modes) {
-    const fsmodel::ResourceInfo& res = ann_.resources[touch.resource];
-    Cursor& c = cursors_[touch.resource];
-    cur_touch_res_ = touch.resource;
-    switch (res.kind) {
-      case ResourceKind::kFile:
-        if (modes.file_seq) {
-          Sequential(c, RuleTag::kFileSeq);
-        }
-        break;
-      case ResourceKind::kPath:
-        if (modes.path_stage_name) {
-          NameOrdering(res, c);
-          Stage(c, touch.access, RuleTag::kPathStage);
-        }
-        break;
-      case ResourceKind::kFd:
-        if (modes.fd_seq) {
-          Sequential(c, RuleTag::kFdSeq);
-        } else if (modes.fd_stage) {
-          Stage(c, touch.access, RuleTag::kFdStage);
-        }
-        break;
-      case ResourceKind::kAiocb:
-        if (modes.aio_stage) {
-          Stage(c, touch.access, RuleTag::kAioStage);
-        }
-        break;
-      case ResourceKind::kThread:
-        // Structural (each replay thread plays its actions in order);
-        // counted for edge statistics without materialising a dep.
-        if (c.touched && c.last_event != kNoEvent) {
-          CountEdge(RuleTag::kThreadSeq, c.last_event);
-        }
-        break;
-      case ResourceKind::kProgram:
-        break;
+// Temporal-method emission. Issue ordering alone does not guarantee that
+// the open defining a cross-thread descriptor has *completed* (and
+// therefore filled the remap slot) before a use on another thread executes.
+// Fold in the minimal infrastructure deps so the temporal baseline is
+// runnable, as in the paper. These are not counted as ordering edges. Each
+// fd/aio slot is one generation, so it has exactly one defining event —
+// precompute them so emission stays a single forward pass.
+void EmitTemporalDeps(DepBuilder& builder, CompiledBenchmark* out) {
+  std::vector<uint32_t> fd_def(out->fd_slot_count, kNoEvent);
+  std::vector<uint32_t> aio_def(out->aio_slot_count, kNoEvent);
+  for (uint32_t i = 0; i < out->actions.size(); ++i) {
+    const CompiledAction& a = out->actions[i];
+    if (a.fd_def_slot >= 0) {
+      fd_def[static_cast<size_t>(a.fd_def_slot)] = i;
     }
-    Update(c, touch.access);
-  }
-
-  void EmitTemporalDeps() {
-    // Issue ordering alone does not guarantee that the open defining a
-    // cross-thread descriptor has *completed* (and therefore filled the
-    // remap slot) before a use on another thread executes. Fold in the
-    // minimal infrastructure deps so the temporal baseline is runnable, as
-    // in the paper. These are not counted as ordering edges. Each fd/aio
-    // slot is one generation, so it has exactly one defining event —
-    // precompute them so emission stays a single forward pass.
-    std::vector<uint32_t> fd_def(out_->fd_slot_count, kNoEvent);
-    std::vector<uint32_t> aio_def(out_->aio_slot_count, kNoEvent);
-    for (uint32_t i = 0; i < out_->actions.size(); ++i) {
-      const CompiledAction& a = out_->actions[i];
-      if (a.fd_def_slot >= 0) {
-        fd_def[static_cast<size_t>(a.fd_def_slot)] = i;
-      }
-      if (a.aio_def_slot >= 0) {
-        aio_def[static_cast<size_t>(a.aio_def_slot)] = i;
-      }
-    }
-    for (uint32_t i = 0; i < out_->events.size(); ++i) {
-      BeginEvent(i);
-      if (i > 0) {
-        AddDep(i - 1, DepKind::kIssue, RuleTag::kTemporal);
-      }
-      const CompiledAction& a = out_->actions[i];
-      if (a.fd_use_slot >= 0) {
-        AddInfraDep(fd_def[static_cast<size_t>(a.fd_use_slot)]);
-      }
-      if (a.aio_use_slot >= 0) {
-        AddInfraDep(aio_def[static_cast<size_t>(a.aio_use_slot)]);
-      }
-      FinishEvent();
+    if (a.aio_def_slot >= 0) {
+      aio_def[static_cast<size_t>(a.aio_def_slot)] = i;
     }
   }
-
-  void BeginEvent(uint32_t index) {
-    cur_event_ = index;
-    cur_touch_res_ = kNoResource;
-    scratch_.clear();
-    // Each touch yields at most one dep plus the create edge; a little
-    // headroom avoids regrowth on delete events with many outstanding uses.
-    scratch_.reserve(ann_.touches.empty() ? 4 : ann_.touches[index].size() + 2);
+  for (uint32_t i = 0; i < out->events.size(); ++i) {
+    builder.BeginEvent(i, 4);
+    if (i > 0) {
+      builder.AddDep(i - 1, DepKind::kIssue, RuleTag::kTemporal);
+    }
+    const CompiledAction& a = out->actions[i];
+    if (a.fd_use_slot >= 0) {
+      builder.AddInfraDep(fd_def[static_cast<size_t>(a.fd_use_slot)]);
+    }
+    if (a.aio_use_slot >= 0) {
+      builder.AddInfraDep(aio_def[static_cast<size_t>(a.aio_use_slot)]);
+    }
+    FlushDeps(builder, i, out);
   }
+}
 
-  void FinishEvent() {
-    // Scratch is already sorted by event; flush it to the arena.
-    std::vector<Dep>& arena = out_->dep_arena;
-    arena.insert(arena.end(), scratch_.begin(), scratch_.end());
-    out_->dep_offsets[cur_event_ + 1] = static_cast<uint32_t>(arena.size());
-  }
-
- private:
-  void Sequential(Cursor& c, RuleTag rule) {
-    if (c.touched && c.last_event != kNoEvent && c.last_event != cur_event_) {
-      AddDep(c.last_event, DepKind::kCompletion, rule);
-    }
-  }
-
-  void Stage(Cursor& c, Access access, RuleTag rule) {
-    if (access != Access::kCreate && c.create_event != kNoEvent &&
-        c.create_event != cur_event_) {
-      uint32_t thread = ThreadOf(cur_event_);
-      bool seen = false;
-      for (uint32_t t : c.create_waiters) {
-        if (t == thread) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) {
-        AddDep(c.create_event, DepKind::kCompletion, rule);
-        c.create_waiters.push_back(thread);
-      }
-    }
-    if (access == Access::kDelete) {
-      for (const auto& [thread, use] : c.last_use_by_thread) {
-        if (use != cur_event_) {
-          AddDep(use, DepKind::kCompletion, rule);
-        }
-      }
-    }
-  }
-
-  void NameOrdering(const fsmodel::ResourceInfo& res, const Cursor& c) {
-    if (c.touched || res.prev_generation == kNoResource) {
-      return;  // only the first action of a generation gets the edge
-    }
-    const Cursor& prev = cursors_[res.prev_generation];
-    if (prev.last_event != kNoEvent && prev.last_event != cur_event_) {
-      AddDep(prev.last_event, DepKind::kCompletion, RuleTag::kPathName);
-    }
-  }
-
-  void Update(Cursor& c, Access access) {
-    c.touched = true;
-    switch (access) {
-      case Access::kCreate:
-        c.create_event = cur_event_;
-        c.last_use_by_thread.clear();
-        c.create_waiters.clear();
-        break;
-      case Access::kUse: {
-        uint32_t thread = ThreadOf(cur_event_);
-        bool found = false;
-        for (auto& [t, use] : c.last_use_by_thread) {
-          if (t == thread) {
-            use = cur_event_;
-            found = true;
-            break;
-          }
-        }
-        if (!found) {
-          c.last_use_by_thread.push_back({thread, cur_event_});
-        }
-        break;
-      }
-      case Access::kDelete:
-        break;
-    }
-    c.last_event = cur_event_;
-  }
-
-  uint32_t ThreadOf(uint32_t event) const {
-    return out_->actions[event].thread_index;
-  }
-
-  // Finds the sorted insertion point for `dep_event` in the scratch list.
-  std::vector<Dep>::iterator LowerBound(uint32_t dep_event) {
-    return std::lower_bound(
-        scratch_.begin(), scratch_.end(), dep_event,
-        [](const Dep& d, uint32_t e) { return d.event < e; });
-  }
-
-  void AddDep(uint32_t dep_event, DepKind kind, RuleTag rule) {
-    ARTC_CHECK(dep_event < cur_event_);
-    // A completion-dep on an earlier action of the same replay thread is
-    // enforced structurally (threads play their actions in order): skip it.
-    // Temporal issue-order deps are kept as-is.
-    if (kind == DepKind::kCompletion && rule != RuleTag::kTemporal &&
-        ThreadOf(dep_event) == ThreadOf(cur_event_)) {
-      return;
-    }
-    // Scratch stays sorted by event, so dedup is an insertion-point check
-    // instead of a scan over every dep added so far. Keep the stronger
-    // kind on collision.
-    auto it = LowerBound(dep_event);
-    if (it != scratch_.end() && it->event == dep_event) {
-      if (kind == DepKind::kCompletion && it->kind == DepKind::kIssue) {
-        it->kind = kind;
-      }
-      return;
-    }
-    scratch_.insert(it, {dep_event, kind, rule, CompactRes(cur_touch_res_)});
-    CountEdge(rule, dep_event);
-  }
-
-  // Maps the annotator's per-generation resource id to a compact
-  // attribution id shared by every generation of the same underlying name
-  // (keyed by kind + ResourceInfo::name_id), materialising a human-readable
-  // name on first use. Only resources that produce a materialised edge get
-  // an entry, so the table stays proportional to the edge set.
-  uint32_t CompactRes(uint32_t raw) {
-    if (raw == kNoResource) {
-      return kNoDepResource;
-    }
-    if (res_compact_.size() < ann_.resources.size()) {
-      res_compact_.assign(ann_.resources.size(), 0);
-    }
-    if (res_compact_[raw] != 0) {
-      return res_compact_[raw] - 1;
-    }
-    const fsmodel::ResourceInfo& info = ann_.resources[raw];
-    uint32_t compact;
-    if (info.name_id != kNoResource) {
-      // Share one id across generations of the same name.
-      uint64_t key = (static_cast<uint64_t>(info.kind) << 32) | info.name_id;
-      auto [it, inserted] =
-          key_to_compact_.try_emplace(key, 0);
-      if (inserted) {
-        it->second = NewCompactName(info, raw);
-      }
-      compact = it->second;
-    } else {
-      compact = NewCompactName(info, raw);
-    }
-    res_compact_[raw] = compact + 1;
-    return compact;
-  }
-
-  uint32_t NewCompactName(const fsmodel::ResourceInfo& info, uint32_t raw) {
-    std::string name;
-    switch (info.kind) {
-      case ResourceKind::kPath:
-        if (ann_.path_names != nullptr && info.name_id != kNoResource) {
-          name = std::string(ann_.path_names->View(info.name_id));
-        } else {
-          name = StrFormat("path#%u", raw);
-        }
-        break;
-      case ResourceKind::kFd:
-        name = StrFormat("fd:%u", info.name_id);
-        break;
-      case ResourceKind::kFile:
-        name = StrFormat("file#%u", info.name_id);
-        break;
-      case ResourceKind::kThread:
-        name = StrFormat("thread:%u", info.name_id);
-        break;
-      case ResourceKind::kAiocb:
-        name = StrFormat("aio:%u", info.name_id);
-        break;
-      case ResourceKind::kProgram:
-        name = "program";
-        break;
-    }
-    if (name.empty()) {
-      name = StrFormat("res#%u", raw);
-    }
-    out_->dep_resource_names.push_back(std::move(name));
-    return static_cast<uint32_t>(out_->dep_resource_names.size() - 1);
-  }
-
-  // Replayability infrastructure dep (temporal method): the defining event
-  // of a used fd/aio slot must have completed. Not counted in edge stats.
-  void AddInfraDep(uint32_t def_event) {
-    if (def_event == kNoEvent || def_event >= cur_event_ ||
-        ThreadOf(def_event) == ThreadOf(cur_event_)) {
-      return;
-    }
-    auto it = LowerBound(def_event);
-    if (it != scratch_.end() && it->event == def_event) {
-      it->kind = DepKind::kCompletion;
-      return;
-    }
-    scratch_.insert(it, {def_event, DepKind::kCompletion, RuleTag::kTemporal});
-  }
-
-  void CountEdge(RuleTag rule, uint32_t dep_event) {
-    size_t idx = static_cast<size_t>(rule);
-    out_->edge_stats.count_by_rule[idx]++;
-    // Edge length: time between the two actions in the original trace.
-    TimeNs len = out_->events[cur_event_].enter - out_->events[dep_event].enter;
-    out_->edge_stats.total_length_ns[idx] += static_cast<double>(len);
-  }
-
-  const AnnotatedTrace& ann_;
-  CompiledBenchmark* out_;
-  std::vector<Cursor> cursors_;
-  uint32_t cur_event_ = 0;
-  uint32_t cur_touch_res_ = kNoResource;  // annotator resource being emitted
-  std::vector<Dep> scratch_;  // current event's deps, sorted by event
-  // raw resource id -> compact attribution id + 1 (0 = unassigned), lazily
-  // sized on the first materialised edge.
-  std::vector<uint32_t> res_compact_;
-  std::unordered_map<uint64_t, uint32_t> key_to_compact_;  // (kind,name)->id
-};
-
-// Drops completion edges that can never be the edge an action blocks on.
-//
-// For event k with same-thread predecessor p, the replayer starts checking
-// k's deps only after p has completed. So if dep d is guaranteed complete
-// before p completes — in *every* schedule, by thread order and the
-// remaining completion edges — then k's check of d is always a no-op read,
-// and removing the edge leaves replay behaviour (and simulated timestamps
-// under a fixed seed) bit-identical. Edges implied only by *sibling* deps
-// of k are NOT safe to drop: k might reach d's wait before the sibling has
-// completed, so the edge can be the one that blocks.
-//
-// The pass keeps one completion vector clock per event: clock[i][t] is
-// (index + 1) of the latest event on thread t known complete whenever i is
-// complete. A forward scan computes it as the predecessor's clock merged
-// with the clocks of i's completion deps plus i itself, pruning each dep
-// already covered by the predecessor's clock. Every pruned edge is in the
-// transitive closure of the kept edges plus thread order (inductively), so
-// the closure is unchanged.
-void PruneRedundantDeps(CompiledBenchmark* bench) {
+// Batch redundant-edge pruning: drives the incremental DepPruner over the
+// fully built arena, compacting it in place (see dep_builder.h for the
+// clock construction and the safety argument).
+void PruneRedundantDeps(const EventMeta& meta, CompiledBenchmark* bench) {
   ARTC_OBS_SPAN("compiler", "prune");
   const size_t n = bench->actions.size();
-  const size_t threads = bench->thread_ids.size();
-  if (n == 0 || threads == 0 || bench->dep_arena.empty()) {
+  if (n == 0 || bench->thread_ids.empty() || bench->dep_arena.empty()) {
     return;
   }
-  // Clock rows are stored sparsely: an event's cross-thread clock differs
-  // from its same-thread predecessor's only if the event has completion
-  // deps to merge, and on real traces the vast majority of events have
-  // none. So a new row materialises only at those "merge" events; every
-  // other event shares its thread's latest row (row 0 is the all-zeros
-  // row). An event's own-thread entry is implicitly (index + 1) — readers
-  // below account for it explicitly — which is why sharing the row with
-  // later events on the thread is sound. Worst case (every event has a
-  // completion dep) this still costs n*threads entries, like the dense
-  // matrix; typically it is a few hundred rows.
-  std::vector<uint32_t> rows(threads, 0);   // row arena, `threads` per row
-  std::vector<uint32_t> row_of(n, 0);       // event -> its clock row id
-  std::vector<uint32_t> cur_row(threads, 0);  // thread -> latest row id
+  DepPruner pruner(meta, &bench->edge_stats);
   std::vector<Dep>& arena = bench->dep_arena;
   std::vector<uint32_t>& offsets = bench->dep_offsets;
   uint32_t write = 0;  // in-place arena compaction cursor
   for (uint32_t i = 0; i < n; ++i) {
-    const uint32_t ti = bench->actions[i].thread_index;
     const uint32_t begin = offsets[i];
-    const uint32_t end = offsets[i + 1];
-    offsets[i] = write;  // write <= begin, so reads below stay valid
-    bool merges = false;
-    for (uint32_t j = begin; j < end && !merges; ++j) {
-      merges = arena[j].kind == DepKind::kCompletion;
+    const uint32_t count = offsets[i + 1] - begin;
+    offsets[i] = write;  // write <= begin, so the pruner's reads stay valid
+    const uint32_t kept =
+        pruner.PruneEvent(i, meta.thread_index[i], arena.data() + begin, count);
+    for (uint32_t j = 0; j < kept; ++j) {
+      arena[write++] = arena[begin + j];
     }
-    if (!merges) {
-      // Issue deps are never pruned (only completion deps can be implied)
-      // and don't advance the completion clock: keep them and move on.
-      row_of[i] = cur_row[ti];
-      for (uint32_t j = begin; j < end; ++j) {
-        arena[write++] = arena[j];
-      }
-      continue;
-    }
-    const uint32_t nr_id = static_cast<uint32_t>(rows.size() / threads);
-    rows.resize(rows.size() + threads);  // may reallocate: take pointers after
-    uint32_t* nr = rows.data() + static_cast<size_t>(nr_id) * threads;
-    // cur_row[ti] is the clock of i's same-thread predecessor p: cross-
-    // thread entries only change at merge events, and the latest one on ti
-    // is at or before p. If i is the first event on ti this is row 0 (all
-    // zeros), which correctly implies nothing.
-    const uint32_t* pr = rows.data() + static_cast<size_t>(cur_row[ti]) * threads;
-    std::copy(pr, pr + threads, nr);
-    for (uint32_t j = begin; j < end; ++j) {
-      const Dep d = arena[j];
-      if (d.kind != DepKind::kCompletion) {
-        arena[write++] = d;
-        continue;
-      }
-      // Materialised completion deps are always cross-thread (same-thread
-      // ones are skipped at emission), so td != ti here.
-      const uint32_t td = bench->actions[d.event].thread_index;
-      if (pr[td] >= d.event + 1) {
-        bench->edge_stats.pruned_by_rule[static_cast<size_t>(d.rule)]++;
-      } else {
-        arena[write++] = d;
-      }
-      // Whether kept or implied, d is complete before i issues: merge its
-      // completion clock (row entries plus its implicit own entry).
-      const uint32_t* dr =
-          rows.data() + static_cast<size_t>(row_of[d.event]) * threads;
-      for (size_t t = 0; t < threads; ++t) {
-        nr[t] = std::max(nr[t], dr[t]);
-      }
-      nr[td] = std::max(nr[td], d.event + 1);
-    }
-    cur_row[ti] = nr_id;
-    row_of[i] = nr_id;
   }
   offsets[n] = write;
   arena.resize(write);
@@ -516,7 +159,14 @@ static CompiledBenchmark CompileImpl(std::vector<trace::TraceEvent> events,
   // while the event's touches are hot in cache.
   const bool fuse_artc = options.method == ReplayMethod::kArtc;
   const uint32_t n = static_cast<uint32_t>(bench.events.size());
-  DepBuilder builder(ann, &bench);
+  EventMeta meta;
+  meta.thread_index.reserve(n);
+  meta.enter.reserve(n);
+  meta.ret_time.reserve(n);
+  DepBuilder builder(ann.resources, ann.path_names.get(), meta,
+                     &bench.dep_resource_names, &bench.edge_stats);
+  bench.dep_arena.clear();
+  bench.dep_offsets.assign(bench.events.size() + 1, 0);
   bench.actions.reserve(n);
   std::vector<TimeNs> last_ret_by_thread;
   TimeNs trace_start = bench.events.empty() ? 0 : bench.events.front().enter;
@@ -546,6 +196,7 @@ static CompiledBenchmark CompileImpl(std::vector<trace::TraceEvent> events,
       }
     }
     a.thread_index = ti;
+    meta.Push(ti, ev);
     bench.thread_actions[ti].push_back(i);
     if (last_ret_by_thread.size() <= ti) {
       last_ret_by_thread.resize(ti + 1, trace_start);
@@ -555,7 +206,10 @@ static CompiledBenchmark CompileImpl(std::vector<trace::TraceEvent> events,
 
     // Slot wiring from the annotation, fused with ARTC dep emission.
     if (fuse_artc) {
-      builder.BeginEvent(i);
+      // Each touch yields at most one dep plus the create edge; a little
+      // headroom avoids regrowth on delete events with many outstanding
+      // uses.
+      builder.BeginEvent(i, ann.touches[i].size() + 2);
     }
     for (const fsmodel::Touch& touch : ann.touches[i]) {
       const fsmodel::ResourceInfo& res = ann.resources[touch.resource];
@@ -577,14 +231,14 @@ static CompiledBenchmark CompileImpl(std::vector<trace::TraceEvent> events,
       }
     }
     if (fuse_artc) {
-      builder.FinishEvent();
+      FlushDeps(builder, i, &bench);
     }
   }
 
   // Temporal needs the fd/aio def events, i.e. a completed slot wiring
   // pass, so it cannot fuse; it runs as a second pass over the trace.
   if (options.method == ReplayMethod::kTemporal) {
-    builder.EmitTemporalDeps();
+    EmitTemporalDeps(builder, &bench);
   }
   bench.dep_arena_peak_bytes = bench.dep_arena.capacity() * sizeof(Dep);
 
@@ -610,7 +264,7 @@ static CompiledBenchmark CompileImpl(std::vector<trace::TraceEvent> events,
   }
 
   if (options.method == ReplayMethod::kArtc && options.prune_redundant_deps) {
-    PruneRedundantDeps(&bench);
+    PruneRedundantDeps(meta, &bench);
   }
   return bench;
 }

@@ -1,0 +1,320 @@
+#include "src/core/dep_builder.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace artc::core::internal {
+
+using fsmodel::Access;
+using fsmodel::kNoResource;
+using fsmodel::ResourceKind;
+
+void DepBuilder::ArtcTouch(const fsmodel::Touch& touch,
+                           const ReplayModes& modes) {
+  if (cursors_.size() <= touch.resource) {
+    cursors_.resize(resources_.size());
+  }
+  const fsmodel::ResourceInfo& res = resources_[touch.resource];
+  Cursor& c = cursors_[touch.resource];
+  cur_touch_res_ = touch.resource;
+  switch (res.kind) {
+    case ResourceKind::kFile:
+      if (modes.file_seq) {
+        Sequential(c, RuleTag::kFileSeq);
+      }
+      break;
+    case ResourceKind::kPath:
+      if (modes.path_stage_name) {
+        NameOrdering(res, c);
+        Stage(c, touch.access, RuleTag::kPathStage);
+      }
+      break;
+    case ResourceKind::kFd:
+      if (modes.fd_seq) {
+        Sequential(c, RuleTag::kFdSeq);
+      } else if (modes.fd_stage) {
+        Stage(c, touch.access, RuleTag::kFdStage);
+      }
+      break;
+    case ResourceKind::kAiocb:
+      if (modes.aio_stage) {
+        Stage(c, touch.access, RuleTag::kAioStage);
+      }
+      break;
+    case ResourceKind::kThread:
+      // Structural (each replay thread plays its actions in order);
+      // counted for edge statistics without materialising a dep.
+      if (c.touched && c.last_event != kNoEvent) {
+        CountEdge(RuleTag::kThreadSeq, c.last_event);
+      }
+      break;
+    case ResourceKind::kProgram:
+      break;
+  }
+  Update(c, touch.access);
+}
+
+void DepBuilder::Sequential(Cursor& c, RuleTag rule) {
+  if (c.touched && c.last_event != kNoEvent && c.last_event != cur_event_) {
+    AddDep(c.last_event, DepKind::kCompletion, rule);
+  }
+}
+
+void DepBuilder::Stage(Cursor& c, Access access, RuleTag rule) {
+  if (access != Access::kCreate && c.create_event != kNoEvent &&
+      c.create_event != cur_event_) {
+    uint32_t thread = ThreadOf(cur_event_);
+    bool seen = false;
+    for (uint32_t t : c.create_waiters) {
+      if (t == thread) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      AddDep(c.create_event, DepKind::kCompletion, rule);
+      c.create_waiters.push_back(thread);
+    }
+  }
+  if (access == Access::kDelete) {
+    for (const auto& [thread, use] : c.last_use_by_thread) {
+      if (use != cur_event_) {
+        AddDep(use, DepKind::kCompletion, rule);
+      }
+    }
+  }
+}
+
+void DepBuilder::NameOrdering(const fsmodel::ResourceInfo& res,
+                              const Cursor& c) {
+  if (c.touched || res.prev_generation == kNoResource) {
+    return;  // only the first action of a generation gets the edge
+  }
+  const Cursor& prev = cursors_[res.prev_generation];
+  if (prev.last_event != kNoEvent && prev.last_event != cur_event_) {
+    AddDep(prev.last_event, DepKind::kCompletion, RuleTag::kPathName);
+  }
+}
+
+void DepBuilder::Update(Cursor& c, Access access) {
+  c.touched = true;
+  switch (access) {
+    case Access::kCreate:
+      c.create_event = cur_event_;
+      c.last_use_by_thread.clear();
+      c.create_waiters.clear();
+      break;
+    case Access::kUse: {
+      uint32_t thread = ThreadOf(cur_event_);
+      bool found = false;
+      for (auto& [t, use] : c.last_use_by_thread) {
+        if (t == thread) {
+          use = cur_event_;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        c.last_use_by_thread.push_back({thread, cur_event_});
+      }
+      break;
+    }
+    case Access::kDelete:
+      break;
+  }
+  c.last_event = cur_event_;
+}
+
+std::vector<Dep>::iterator DepBuilder::LowerBound(uint32_t dep_event) {
+  return std::lower_bound(scratch_.begin(), scratch_.end(), dep_event,
+                          [](const Dep& d, uint32_t e) { return d.event < e; });
+}
+
+void DepBuilder::AddDep(uint32_t dep_event, DepKind kind, RuleTag rule) {
+  ARTC_CHECK(dep_event < cur_event_);
+  // A completion-dep on an earlier action of the same replay thread is
+  // enforced structurally (threads play their actions in order): skip it.
+  // Temporal issue-order deps are kept as-is.
+  if (kind == DepKind::kCompletion && rule != RuleTag::kTemporal &&
+      ThreadOf(dep_event) == ThreadOf(cur_event_)) {
+    return;
+  }
+  // Scratch stays sorted by event, so dedup is an insertion-point check
+  // instead of a scan over every dep added so far. Keep the stronger
+  // kind on collision.
+  auto it = LowerBound(dep_event);
+  if (it != scratch_.end() && it->event == dep_event) {
+    if (kind == DepKind::kCompletion && it->kind == DepKind::kIssue) {
+      it->kind = kind;
+    }
+    return;
+  }
+  scratch_.insert(it, {dep_event, kind, rule, CompactRes(cur_touch_res_)});
+  CountEdge(rule, dep_event);
+}
+
+uint32_t DepBuilder::CompactRes(uint32_t raw) {
+  if (raw == kNoResource) {
+    return kNoDepResource;
+  }
+  // Maps the annotator's per-generation resource id to a compact
+  // attribution id shared by every generation of the same underlying name
+  // (keyed by kind + ResourceInfo::name_id), materialising a human-readable
+  // name on first use. Only resources that produce a materialised edge get
+  // an entry, so the table stays proportional to the edge set.
+  if (res_compact_.size() < resources_.size()) {
+    res_compact_.resize(resources_.size(), 0);
+  }
+  if (res_compact_[raw] != 0) {
+    return res_compact_[raw] - 1;
+  }
+  const fsmodel::ResourceInfo& info = resources_[raw];
+  uint32_t compact;
+  if (info.name_id != kNoResource) {
+    // Share one id across generations of the same name.
+    uint64_t key = (static_cast<uint64_t>(info.kind) << 32) | info.name_id;
+    auto [it, inserted] = key_to_compact_.try_emplace(key, 0);
+    if (inserted) {
+      it->second = NewCompactName(info, raw);
+    }
+    compact = it->second;
+  } else {
+    compact = NewCompactName(info, raw);
+  }
+  res_compact_[raw] = compact + 1;
+  return compact;
+}
+
+uint32_t DepBuilder::NewCompactName(const fsmodel::ResourceInfo& info,
+                                    uint32_t raw) {
+  std::string name;
+  switch (info.kind) {
+    case ResourceKind::kPath:
+      if (path_names_ != nullptr && info.name_id != kNoResource) {
+        name = std::string(path_names_->View(info.name_id));
+      } else {
+        name = StrFormat("path#%u", raw);
+      }
+      break;
+    case ResourceKind::kFd:
+      name = StrFormat("fd:%u", info.name_id);
+      break;
+    case ResourceKind::kFile:
+      name = StrFormat("file#%u", info.name_id);
+      break;
+    case ResourceKind::kThread:
+      name = StrFormat("thread:%u", info.name_id);
+      break;
+    case ResourceKind::kAiocb:
+      name = StrFormat("aio:%u", info.name_id);
+      break;
+    case ResourceKind::kProgram:
+      name = "program";
+      break;
+  }
+  if (name.empty()) {
+    name = StrFormat("res#%u", raw);
+  }
+  names_->push_back(std::move(name));
+  return static_cast<uint32_t>(names_->size() - 1);
+}
+
+void DepBuilder::AddInfraDep(uint32_t def_event) {
+  if (def_event == kNoEvent || def_event >= cur_event_ ||
+      ThreadOf(def_event) == ThreadOf(cur_event_)) {
+    return;
+  }
+  auto it = LowerBound(def_event);
+  if (it != scratch_.end() && it->event == def_event) {
+    it->kind = DepKind::kCompletion;
+    return;
+  }
+  scratch_.insert(it, {def_event, DepKind::kCompletion, RuleTag::kTemporal});
+}
+
+void DepBuilder::CountEdge(RuleTag rule, uint32_t dep_event) {
+  size_t idx = static_cast<size_t>(rule);
+  stats_->count_by_rule[idx]++;
+  // Edge length: time between the two actions in the original trace.
+  TimeNs len = meta_.enter[cur_event_] - meta_.enter[dep_event];
+  stats_->total_length_ns[idx] += static_cast<double>(len);
+}
+
+uint32_t DepPruner::PruneEvent(uint32_t i, uint32_t ti, Dep* deps,
+                               uint32_t count) {
+  ARTC_CHECK(row_of_.size() == i);
+  if (cur_row_.size() <= ti) {
+    cur_row_.resize(ti + 1, 0);
+  }
+  bool merges = false;
+  for (uint32_t j = 0; j < count && !merges; ++j) {
+    merges = deps[j].kind == DepKind::kCompletion;
+  }
+  if (!merges) {
+    // Issue deps are never pruned (only completion deps can be implied)
+    // and don't advance the completion clock: keep them and move on.
+    row_of_.push_back(cur_row_[ti]);
+    return count;
+  }
+  // cur_row_[ti] is the clock of i's same-thread predecessor p: cross-
+  // thread entries only change at merge events, and the latest one on ti
+  // is at or before p. If i is the first event on ti this is row 0 (all
+  // zeros), which correctly implies nothing.
+  const uint32_t pred = cur_row_[ti];
+  const uint32_t width = static_cast<uint32_t>(cur_row_.size());
+  const uint32_t nr_id = static_cast<uint32_t>(row_off_.size());
+  const uint32_t nr_off = static_cast<uint32_t>(rows_.size());
+  rows_.resize(rows_.size() + width);
+  row_off_.push_back(nr_off);
+  row_width_.push_back(width);
+  for (uint32_t t = 0; t < width; ++t) {
+    rows_[nr_off + t] = RowVal(pred, t);
+  }
+  uint32_t write = 0;
+  for (uint32_t j = 0; j < count; ++j) {
+    const Dep d = deps[j];
+    if (d.kind != DepKind::kCompletion) {
+      deps[write++] = d;
+      continue;
+    }
+    // Materialised completion deps are always cross-thread (same-thread
+    // ones are skipped at emission), so td != ti here. The implied-ness
+    // test runs against the *pristine* predecessor clock, never the row
+    // being accumulated: sibling deps must not imply each other.
+    const uint32_t td = meta_.thread_index[d.event];
+    if (RowVal(pred, td) >= d.event + 1) {
+      stats_->pruned_by_rule[static_cast<size_t>(d.rule)]++;
+    } else {
+      deps[write++] = d;
+    }
+    // Whether kept or implied, d is complete before i issues: merge its
+    // completion clock (row entries plus its implicit own entry).
+    const uint32_t dr = row_of_[d.event];
+    const uint32_t dw = row_width_[dr];
+    const uint32_t dr_off = row_off_[dr];
+    for (uint32_t t = 0; t < dw; ++t) {
+      rows_[nr_off + t] = std::max(rows_[nr_off + t], rows_[dr_off + t]);
+    }
+    rows_[nr_off + td] = std::max(rows_[nr_off + td], d.event + 1);
+  }
+  cur_row_[ti] = nr_id;
+  row_of_.push_back(nr_id);
+  return write;
+}
+
+uint64_t DepBuilder::state_bytes() const {
+  uint64_t n = cursors_.capacity() * sizeof(Cursor) +
+               res_compact_.capacity() * sizeof(uint32_t) +
+               key_to_compact_.size() * (sizeof(uint64_t) + sizeof(uint32_t)) +
+               scratch_.capacity() * sizeof(Dep);
+  for (const Cursor& c : cursors_) {
+    n += c.last_use_by_thread.capacity() * sizeof(std::pair<uint32_t, uint32_t>) +
+         c.create_waiters.capacity() * sizeof(uint32_t);
+  }
+  return n;
+}
+
+}  // namespace artc::core::internal

@@ -1,0 +1,26 @@
+#include "src/core/suite.h"
+
+#include "src/util/check.h"
+
+namespace artc::core {
+
+std::vector<CompiledBenchmark> CompileSuite(const std::vector<CompileJob>& jobs,
+                                            util::ThreadPool* pool) {
+  std::vector<CompiledBenchmark> out(jobs.size());
+  for (const CompileJob& job : jobs) {
+    ARTC_CHECK_MSG(job.trace != nullptr && job.snapshot != nullptr,
+                   "CompileSuite job missing trace or snapshot");
+  }
+  if (pool == nullptr) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      out[i] = Compile(*jobs[i].trace, *jobs[i].snapshot, jobs[i].options);
+    }
+    return out;
+  }
+  util::ParallelFor(*pool, jobs.size(), [&](size_t i) {
+    out[i] = Compile(*jobs[i].trace, *jobs[i].snapshot, jobs[i].options);
+  });
+  return out;
+}
+
+}  // namespace artc::core

@@ -95,28 +95,26 @@ struct AioState {
   uint32_t generation = 0;
 };
 
-class Annotator {
- public:
-  Annotator(const trace::Trace& t, const trace::FsSnapshot& snapshot,
-            const AnnotateOptions& options)
-      : trace_(t), opts_(options) {
+}  // namespace
+
+// The annotation engine. One instance IS the live model state: the shadow
+// tree, path/fd/aio generation tables, and the growing resource table. Both
+// the batch AnnotateTrace and the public incremental Annotator drive it one
+// event at a time.
+struct Annotator::Impl {
+  Impl(const trace::FsSnapshot& snapshot, const AnnotateOptions& options)
+      : opts_(options) {
     // Resource 0 is the program.
     NewResource(ResourceKind::kProgram, "program");
     BuildTree(snapshot);
   }
 
-  AnnotatedTrace Run() {
-    out_.touches.resize(trace_.events.size());
-    for (const TraceEvent& ev : trace_.events) {
-      cur_ = &out_.touches[ev.index];
-      TouchThread(ev.tid);
-      Handle(ev);
-    }
-    out_.path_names = interner_;
-    return std::move(out_);
+  void Annotate(const TraceEvent& ev, std::vector<Touch>* touches) {
+    cur_ = touches;
+    TouchThread(ev.tid);
+    Handle(ev);
+    cur_ = nullptr;
   }
-
- private:
   // ---- resource table ----
   uint32_t NewResource(ResourceKind kind, std::string label,
                        uint32_t prev = kNoResource, bool initially_bound = false,
@@ -878,7 +876,6 @@ class Annotator {
   uint32_t Intern(std::string_view s) { return interner_->Intern(s); }
   bool Labels() const { return opts_.materialize_labels; }
 
-  const trace::Trace& trace_;
   const AnnotateOptions opts_;
   AnnotatedTrace out_;
   std::vector<Touch>* cur_ = nullptr;
@@ -899,13 +896,45 @@ class Annotator {
   std::unordered_map<uint32_t, uint32_t> thread_res_;
 };
 
-}  // namespace
+Annotator::Annotator(const trace::FsSnapshot& snapshot, const AnnotateOptions& options)
+    : impl_(std::make_unique<Impl>(snapshot, options)) {}
+
+Annotator::~Annotator() = default;
+
+void Annotator::AnnotateEvent(const trace::TraceEvent& ev, std::vector<Touch>* touches) {
+  impl_->Annotate(ev, touches);
+}
+
+const std::vector<ResourceInfo>& Annotator::resources() const {
+  return impl_->out_.resources;
+}
+
+uint64_t Annotator::warnings() const { return impl_->out_.warnings; }
+
+const std::string& Annotator::first_warning() const {
+  return impl_->out_.first_warning;
+}
+
+std::shared_ptr<const util::StringInterner> Annotator::path_names() const {
+  return impl_->interner_;
+}
+
+AnnotatedTrace Annotator::Finish() {
+  impl_->out_.path_names = impl_->interner_;
+  return std::move(impl_->out_);
+}
 
 AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot,
                              const AnnotateOptions& options) {
   ARTC_OBS_SPAN("compiler", "annotate");
-  Annotator a(t, snapshot, options);
-  return a.Run();
+  Annotator a(snapshot, options);
+  std::vector<std::vector<Touch>> touches(t.events.size());
+  for (size_t i = 0; i < t.events.size(); ++i) {
+    a.AnnotateEvent(t.events[i], &touches[i]);
+  }
+  AnnotatedTrace out = a.Finish();
+  out.touches = std::move(touches);
+  return out;
 }
 
 }  // namespace artc::fsmodel

@@ -95,6 +95,41 @@ struct AnnotateOptions {
 AnnotatedTrace AnnotateTrace(const trace::Trace& t, const trace::FsSnapshot& snapshot,
                              const AnnotateOptions& options = {});
 
+// Incremental annotator: the same logical scan as AnnotateTrace, but driven
+// one event at a time so a streaming pipeline can annotate a trace it never
+// materializes. State is the live resource tables (shadow tree, path/fd/aio
+// generations) — memory is proportional to the resources the trace touches,
+// not to the number of events annotated.
+class Annotator {
+ public:
+  explicit Annotator(const trace::FsSnapshot& snapshot,
+                     const AnnotateOptions& options = {});
+  ~Annotator();
+  Annotator(const Annotator&) = delete;
+  Annotator& operator=(const Annotator&) = delete;
+
+  // Annotates the next event. Events MUST be presented in trace (issue)
+  // order. Appends this event's touches to *touches; callers normally pass
+  // a cleared scratch vector (intra-event dedup considers existing entries).
+  void AnnotateEvent(const trace::TraceEvent& ev, std::vector<Touch>* touches);
+
+  // The resource table so far. Grows monotonically; ids are stable, so a
+  // consumer may hold indexes across AnnotateEvent calls.
+  const std::vector<ResourceInfo>& resources() const;
+  uint64_t warnings() const;
+  const std::string& first_warning() const;
+  std::shared_ptr<const util::StringInterner> path_names() const;
+
+  // Moves the accumulated tables (resources, thread maps, warnings — NOT
+  // touches, which the caller owns) into an AnnotatedTrace shell. The
+  // annotator must not be used afterwards.
+  AnnotatedTrace Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 const char* ResourceKindName(ResourceKind k);
 const char* AccessName(Access a);
 

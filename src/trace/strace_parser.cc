@@ -557,7 +557,12 @@ StraceParseResult ParseStrace(std::istream& in) {
   ARTC_OBS_SPAN("compiler", "parse");
   StraceParseResult result;
   std::string line;
+  size_t lineno = 0;
+  uint64_t offset = 0;
   while (std::getline(in, line)) {
+    lineno++;
+    const uint64_t line_offset = offset;
+    offset += line.size() + 1;
     TraceEvent ev;
     std::string error;
     if (ParseStraceLine(line, &ev, &error)) {
@@ -567,6 +572,8 @@ StraceParseResult ParseStrace(std::istream& in) {
       result.skipped_lines++;
       if (result.first_error.empty()) {
         result.first_error = error;
+        result.first_error_line = lineno;
+        result.first_error_offset = line_offset;
       }
     }
   }
@@ -577,6 +584,26 @@ StraceParseResult ParseStraceFile(const std::string& path) {
   std::ifstream in(path);
   ARTC_CHECK_MSG(in.good(), "cannot open strace file %s", path.c_str());
   return ParseStrace(in);
+}
+
+bool ParseStraceFile(const std::string& path, StraceParseResult* out,
+                     ParseDiag* diag) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    diag->file = path;
+    diag->message = "cannot open strace file";
+    return false;
+  }
+  *out = ParseStrace(in);
+  if (!out->first_error.empty()) {
+    // Non-fatal, but surface where the first skip happened for callers that
+    // want to report it.
+    diag->file = path;
+    diag->line = out->first_error_line;
+    diag->byte_offset = out->first_error_offset;
+    diag->message = out->first_error;
+  }
+  return true;
 }
 
 }  // namespace artc::trace

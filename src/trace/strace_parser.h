@@ -20,6 +20,7 @@
 #include <string>
 
 #include "src/trace/event.h"
+#include "src/trace/trace_io.h"
 
 namespace artc::trace {
 
@@ -27,10 +28,19 @@ struct StraceParseResult {
   Trace trace;
   uint64_t skipped_lines = 0;    // unparseable or unknown-call lines
   std::string first_error;       // description of the first skipped line
+  size_t first_error_line = 0;   // 1-based line number of that line
+  uint64_t first_error_offset = 0;  // file offset of that line's first byte
 };
 
 StraceParseResult ParseStrace(std::istream& in);
 StraceParseResult ParseStraceFile(const std::string& path);
+
+// Diagnostic-returning variant: a missing/unreadable file fills *diag and
+// returns false instead of aborting (per-line trouble still lands in the
+// result's skipped_lines/first_error — strace output is noisy by nature,
+// so one bad line must never kill a multi-GB ingest).
+bool ParseStraceFile(const std::string& path, StraceParseResult* out,
+                     ParseDiag* diag);
 
 // Parses a single strace line. Returns true and fills *out on success.
 bool ParseStraceLine(std::string_view line, TraceEvent* out, std::string* error);

@@ -177,22 +177,65 @@ bool ParseEventLine(std::string_view line, TraceEvent* out, std::string* error) 
   return true;
 }
 
-Trace ReadTrace(std::istream& in) {
-  Trace trace;
+std::string ParseDiag::Format() const {
+  std::string out;
+  if (!file.empty()) {
+    out = file;
+  }
+  if (line > 0) {
+    out += StrFormat("%s%zu (byte %llu)", out.empty() ? "line " : ":", line,
+                     static_cast<unsigned long long>(byte_offset));
+  }
+  if (!out.empty()) {
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+bool ReadTrace(std::istream& in, Trace* out, ParseDiag* diag) {
   std::string line;
   size_t lineno = 0;
+  uint64_t offset = 0;
   while (std::getline(in, line)) {
     lineno++;
+    const uint64_t line_offset = offset;
+    offset += line.size() + 1;  // the newline getline consumed
     TraceEvent ev;
     std::string error;
     if (ParseEventLine(line, &ev, &error)) {
-      ev.index = trace.events.size();  // reindex densely
-      trace.events.push_back(std::move(ev));
-    } else {
-      ARTC_CHECK_MSG(error.empty(), "trace parse error at line %zu: %s", lineno,
-                     error.c_str());
+      ev.index = out->events.size();  // reindex densely
+      out->events.push_back(std::move(ev));
+    } else if (!error.empty()) {
+      diag->line = lineno;
+      diag->byte_offset = line_offset;
+      diag->message = std::move(error);
+      return false;
     }
   }
+  return true;
+}
+
+bool ReadTraceFile(const std::string& path, Trace* out, ParseDiag* diag) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    diag->file = path;
+    diag->message = "cannot open trace file";
+    return false;
+  }
+  if (!ReadTrace(in, out, diag)) {
+    diag->file = path;
+    return false;
+  }
+  return true;
+}
+
+Trace ReadTrace(std::istream& in) {
+  Trace trace;
+  ParseDiag diag;
+  ARTC_CHECK_MSG(ReadTrace(in, &trace, &diag),
+                 "trace parse error at line %zu: %s", diag.line,
+                 diag.message.c_str());
   return trace;
 }
 
@@ -219,13 +262,15 @@ namespace {
 constexpr std::string_view kSnapshotLinePrefix = "#snapshot ";
 }  // namespace
 
-TraceBundle ReadTraceBundle(std::istream& in) {
-  TraceBundle bundle;
+bool ReadTraceBundle(std::istream& in, TraceBundle* out, ParseDiag* diag) {
   std::string snapshot_text;
   std::string line;
   size_t lineno = 0;
+  uint64_t offset = 0;
   while (std::getline(in, line)) {
     lineno++;
+    const uint64_t line_offset = offset;
+    offset += line.size() + 1;
     if (std::string_view(line).substr(0, kSnapshotLinePrefix.size()) ==
         kSnapshotLinePrefix) {
       snapshot_text.append(line, kSnapshotLinePrefix.size(),
@@ -236,15 +281,41 @@ TraceBundle ReadTraceBundle(std::istream& in) {
     TraceEvent ev;
     std::string error;
     if (ParseEventLine(line, &ev, &error)) {
-      ev.index = bundle.trace.events.size();
-      bundle.trace.events.push_back(std::move(ev));
-    } else {
-      ARTC_CHECK_MSG(error.empty(), "bundle parse error at line %zu: %s", lineno,
-                     error.c_str());
+      ev.index = out->trace.events.size();
+      out->trace.events.push_back(std::move(ev));
+    } else if (!error.empty()) {
+      diag->line = lineno;
+      diag->byte_offset = line_offset;
+      diag->message = std::move(error);
+      return false;
     }
   }
   std::istringstream snap_in(snapshot_text);
-  bundle.snapshot = ReadSnapshot(snap_in);
+  out->snapshot = ReadSnapshot(snap_in);
+  return true;
+}
+
+bool ReadTraceBundleFile(const std::string& path, TraceBundle* out,
+                         ParseDiag* diag) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    diag->file = path;
+    diag->message = "cannot open bundle file";
+    return false;
+  }
+  if (!ReadTraceBundle(in, out, diag)) {
+    diag->file = path;
+    return false;
+  }
+  return true;
+}
+
+TraceBundle ReadTraceBundle(std::istream& in) {
+  TraceBundle bundle;
+  ParseDiag diag;
+  ARTC_CHECK_MSG(ReadTraceBundle(in, &bundle, &diag),
+                 "bundle parse error at line %zu: %s", diag.line,
+                 diag.message.c_str());
   return bundle;
 }
 

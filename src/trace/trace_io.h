@@ -15,10 +15,31 @@
 
 namespace artc::trace {
 
-// Parse errors abort with a message pointing at the offending line; traces
-// are build inputs, not user data, so fail-fast is the right behaviour.
+// Where and why a trace failed to parse. Streaming readers chewing through
+// multi-GB files return this instead of aborting, so a caller can reject
+// one bad record (or one bad file) and keep going; the CLI frontends format
+// it into the same fail-fast message the aborting wrappers always printed.
+struct ParseDiag {
+  std::string file;          // empty when reading an anonymous stream
+  size_t line = 0;           // 1-based line number of the offending line
+  uint64_t byte_offset = 0;  // file offset of that line's first byte
+  std::string message;
+
+  // "<file>:<line> (byte <off>): <message>"; file/offset parts are omitted
+  // when unknown.
+  std::string Format() const;
+};
+
+// Aborting readers: parse errors die with a message pointing at the
+// offending line. The right behaviour for build inputs and small fixtures;
+// streaming pipelines use the diagnostic-returning variants below.
 Trace ReadTrace(std::istream& in);
 Trace ReadTraceFile(const std::string& path);
+
+// Diagnostic-returning variants: on any parse (or open) failure, fill
+// *diag and return false; *out holds the events parsed before the failure.
+bool ReadTrace(std::istream& in, Trace* out, ParseDiag* diag);
+bool ReadTraceFile(const std::string& path, Trace* out, ParseDiag* diag);
 
 void WriteTrace(const Trace& trace, std::ostream& out);
 void WriteTraceFile(const Trace& trace, const std::string& path);
@@ -42,6 +63,9 @@ struct TraceBundle {
 
 TraceBundle ReadTraceBundle(std::istream& in);
 TraceBundle ReadTraceBundleFile(const std::string& path);
+bool ReadTraceBundle(std::istream& in, TraceBundle* out, ParseDiag* diag);
+bool ReadTraceBundleFile(const std::string& path, TraceBundle* out,
+                         ParseDiag* diag);
 void WriteTraceBundle(const TraceBundle& bundle, std::ostream& out);
 void WriteTraceBundleFile(const TraceBundle& bundle, const std::string& path);
 

@@ -1,0 +1,64 @@
+#include "src/util/crc32.h"
+
+#include <array>
+#include <cstring>
+
+namespace artc::util {
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3 polynomial
+
+// Slice-by-8 tables: kTables[0] is the classic byte-at-a-time table;
+// kTables[t][b] advances byte b through t additional zero bytes, so eight
+// lookups retire eight input bytes per iteration with no dependency chain
+// between the two 32-bit halves.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    tables[0][i] = c;
+  }
+  for (int t = 1; t < 8; ++t) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      const uint32_t prev = tables[t - 1][i];
+      tables[t][i] = tables[0][prev & 0xFFu] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<uint32_t, 256>, 8> kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The 32-bit loads below fold the CRC state into the raw input words,
+  // which is only correct when host order matches the reflected bit order
+  // (little-endian); other hosts take the bytewise loop for everything.
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+        kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+        kTables[3][hi & 0xFFu] ^ kTables[2][(hi >> 8) & 0xFFu] ^
+        kTables[1][(hi >> 16) & 0xFFu] ^ kTables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) {
+    c = kTables[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace artc::util

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant): integrity checks
+// for the binary trace format's header and per-chunk records. Slice-by-8
+// table-driven on little-endian hosts (a chunk is CRC'd once per write and
+// once per read, but chunks are megabytes — the bytewise loop was a
+// visible slice of ARTCT decode time), bytewise elsewhere.
+#ifndef SRC_UTIL_CRC32_H_
+#define SRC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace artc::util {
+
+// CRC-32 of `n` bytes at `data`. Pass a previous result as `seed` to
+// checksum a stream incrementally: Crc32(b, nb, Crc32(a, na)) equals
+// Crc32 of a||b.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace artc::util
+
+#endif  // SRC_UTIL_CRC32_H_

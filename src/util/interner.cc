@@ -12,7 +12,7 @@ constexpr size_t kChunkBytes = 64 << 10;
 }  // namespace
 
 std::string_view StringInterner::Store(std::string_view s) {
-  if (chunk_used_ + s.size() > chunk_cap_) {
+  if (chunks_.empty() || chunk_used_ + s.size() > chunk_cap_) {
     size_t cap = std::max(kChunkBytes, s.size());
     chunks_.push_back(std::make_unique<char[]>(cap));
     chunk_used_ = 0;
@@ -37,6 +37,24 @@ uint32_t StringInterner::Intern(std::string_view s) {
   views_.push_back(stored);
   ids_.emplace(stored, id);
   return id;
+}
+
+void StringInterner::InternBatch(const std::string_view* strs, uint32_t* ids,
+                                 size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < count; ++i) {
+    auto it = ids_.find(strs[i]);
+    if (it != ids_.end()) {
+      ids[i] = it->second;
+      continue;
+    }
+    ARTC_CHECK_MSG(views_.size() < UINT32_MAX, "interner id space exhausted");
+    std::string_view stored = Store(strs[i]);
+    const uint32_t id = static_cast<uint32_t>(views_.size());
+    views_.push_back(stored);
+    ids_.emplace(stored, id);
+    ids[i] = id;
+  }
 }
 
 std::string_view StringInterner::View(uint32_t id) const {

@@ -1,0 +1,341 @@
+// Tests for the ARTCT binary trace format and the chunked/streaming
+// readers: text<->binary round trips over the golden corpus and fuzz
+// traces, parallel-parse equivalence against the sequential readers,
+// windowed StreamReader stitching, and corruption/diagnostic paths.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/check/generator.h"
+#include "src/trace/binary_trace.h"
+#include "src/trace/event.h"
+#include "src/trace/snapshot.h"
+#include "src/trace/stream_reader.h"
+#include "src/trace/trace_io.h"
+#include "src/util/thread_pool.h"
+
+namespace artc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+void ExpectEventsEqual(const trace::TraceEvent& a, const trace::TraceEvent& b,
+                       size_t i) {
+  EXPECT_EQ(a.index, b.index) << "event " << i;
+  EXPECT_EQ(a.tid, b.tid) << "event " << i;
+  EXPECT_EQ(a.call, b.call) << "event " << i;
+  EXPECT_EQ(a.enter, b.enter) << "event " << i;
+  EXPECT_EQ(a.ret_time, b.ret_time) << "event " << i;
+  EXPECT_EQ(a.ret, b.ret) << "event " << i;
+  EXPECT_EQ(a.path, b.path) << "event " << i;
+  EXPECT_EQ(a.path2, b.path2) << "event " << i;
+  EXPECT_EQ(a.fd, b.fd) << "event " << i;
+  EXPECT_EQ(a.fd2, b.fd2) << "event " << i;
+  EXPECT_EQ(a.offset, b.offset) << "event " << i;
+  EXPECT_EQ(a.size, b.size) << "event " << i;
+  EXPECT_EQ(a.flags, b.flags) << "event " << i;
+  EXPECT_EQ(a.mode, b.mode) << "event " << i;
+  EXPECT_EQ(a.whence, b.whence) << "event " << i;
+  EXPECT_EQ(a.name, b.name) << "event " << i;
+  EXPECT_EQ(a.aio_id, b.aio_id) << "event " << i;
+}
+
+void ExpectBundlesEqual(const trace::TraceBundle& a,
+                        const trace::TraceBundle& b) {
+  ASSERT_EQ(a.trace.events.size(), b.trace.events.size());
+  for (size_t i = 0; i < a.trace.events.size(); ++i) {
+    ExpectEventsEqual(a.trace.events[i], b.trace.events[i], i);
+  }
+  std::ostringstream sa, sb;
+  trace::WriteSnapshot(a.snapshot, sa);
+  trace::WriteSnapshot(b.snapshot, sb);
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(ARTC_CORPUS_DIR)) {
+    if (entry.path().extension() == ".trace") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(BinaryTrace, RoundTripCorpus) {
+  auto files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  const std::string bin = TempPath("artct_roundtrip.artct");
+  for (size_t i = 0; i < files.size() && i < 4; ++i) {
+    trace::TraceBundle orig = trace::ReadTraceBundleFile(files[i]);
+    std::string error;
+    // Tiny chunks force multi-chunk files even on small fixtures.
+    ASSERT_TRUE(trace::WriteArtctFile(bin, orig.trace, orig.snapshot, &error,
+                                      /*chunk_events=*/64))
+        << error;
+    ASSERT_TRUE(trace::SniffArtctFile(bin));
+    trace::TraceBundle back;
+    ASSERT_TRUE(trace::ReadArtctFile(bin, &back, &error)) << error;
+    ExpectBundlesEqual(orig, back);
+  }
+  std::remove(bin.c_str());
+}
+
+TEST(BinaryTrace, RoundTripFuzzTraces) {
+  const std::string bin = TempPath("artct_fuzz.artct");
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    check::GenOptions gen;
+    gen.seed = seed;
+    gen.threads = 3 + seed % 3;
+    gen.ops_per_thread = 40;
+    trace::TraceBundle orig = check::GenerateTrace(gen);
+    std::string error;
+    ASSERT_TRUE(trace::WriteArtctFile(bin, orig.trace, orig.snapshot, &error,
+                                      /*chunk_events=*/32))
+        << error;
+    trace::TraceBundle back;
+    ASSERT_TRUE(trace::ReadArtctFile(bin, &back, &error)) << error;
+    ExpectBundlesEqual(orig, back);
+  }
+  std::remove(bin.c_str());
+}
+
+TEST(BinaryTrace, EmptyTrace) {
+  const std::string bin = TempPath("artct_empty.artct");
+  trace::Trace empty;
+  trace::FsSnapshot snap;
+  std::string error;
+  ASSERT_TRUE(trace::WriteArtctFile(bin, empty, snap, &error));
+  trace::TraceBundle back;
+  ASSERT_TRUE(trace::ReadArtctFile(bin, &back, &error)) << error;
+  EXPECT_TRUE(back.trace.events.empty());
+  std::remove(bin.c_str());
+}
+
+TEST(BinaryTrace, CorruptChunkDetected) {
+  check::GenOptions gen;
+  gen.seed = 7;
+  trace::TraceBundle orig = check::GenerateTrace(gen);
+  ASSERT_FALSE(orig.trace.events.empty());
+  const std::string bin = TempPath("artct_corrupt.artct");
+  std::string error;
+  ASSERT_TRUE(trace::WriteArtctFile(bin, orig.trace, orig.snapshot, &error,
+                                    /*chunk_events=*/16));
+  // Flip one byte inside the first chunk's record payload (past the header).
+  {
+    std::fstream f(bin, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64 + 16);
+    char c;
+    f.seekg(64 + 16);
+    f.get(c);
+    f.seekp(64 + 16);
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  trace::TraceBundle back;
+  EXPECT_FALSE(trace::ReadArtctFile(bin, &back, &error));
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+  std::remove(bin.c_str());
+}
+
+TEST(BinaryTrace, TruncatedHeaderRejected) {
+  const std::string bin = TempPath("artct_trunc.artct");
+  {
+    std::ofstream f(bin, std::ios::binary);
+    f.write("ARTCT\0", 6);  // magic only
+  }
+  std::string error;
+  auto reader = trace::ArtctReader::Open(bin, &error);
+  EXPECT_EQ(reader, nullptr);
+  EXPECT_FALSE(error.empty());
+  std::remove(bin.c_str());
+}
+
+TEST(ParallelRead, TextMatchesSequential) {
+  auto files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  util::ThreadPool pool(4);
+  for (size_t i = 0; i < files.size() && i < 3; ++i) {
+    trace::TraceBundle seq = trace::ReadTraceBundleFile(files[i]);
+    trace::ParallelReadOptions opt;
+    opt.pool = &pool;
+    opt.chunk_bytes = 512;  // force many chunks on small fixtures
+    trace::ParallelReadResult res;
+    trace::ParseDiag diag;
+    ASSERT_TRUE(trace::ParallelReadTraceFile(files[i], opt, &res, &diag))
+        << diag.Format();
+    EXPECT_FALSE(res.from_binary);
+    EXPECT_GT(res.chunks, 1u);
+    ExpectBundlesEqual(seq, res.bundle);
+  }
+}
+
+TEST(ParallelRead, ArtctMatchesText) {
+  check::GenOptions gen;
+  gen.seed = 11;
+  gen.threads = 4;
+  gen.ops_per_thread = 60;
+  trace::TraceBundle orig = check::GenerateTrace(gen);
+  const std::string bin = TempPath("artct_par.artct");
+  std::string error;
+  ASSERT_TRUE(trace::WriteArtctFile(bin, orig.trace, orig.snapshot, &error,
+                                    /*chunk_events=*/32));
+  util::ThreadPool pool(4);
+  trace::ParallelReadOptions opt;
+  opt.pool = &pool;
+  trace::ParallelReadResult res;
+  trace::ParseDiag diag;
+  ASSERT_TRUE(trace::ParallelReadTraceFile(bin, opt, &res, &diag))
+      << diag.Format();
+  EXPECT_TRUE(res.from_binary);
+  ExpectBundlesEqual(orig, res.bundle);
+  std::remove(bin.c_str());
+}
+
+TEST(ParallelRead, SkipBadLines) {
+  check::GenOptions gen;
+  gen.seed = 3;
+  trace::TraceBundle orig = check::GenerateTrace(gen);
+  const std::string txt = TempPath("artct_skip.trace");
+  {
+    std::ostringstream body;
+    trace::WriteTraceBundle(orig, body);
+    std::string lines = body.str();
+    // Inject two garbage lines mid-file.
+    size_t mid = lines.find('\n', lines.size() / 2);
+    ASSERT_NE(mid, std::string::npos);
+    lines.insert(mid + 1, "this is not an event line\nneither is this\n");
+    std::ofstream f(txt);
+    f << lines;
+  }
+  trace::ParallelReadOptions opt;
+  opt.skip_bad_lines = true;
+  opt.chunk_bytes = 256;
+  trace::ParallelReadResult res;
+  trace::ParseDiag diag;
+  ASSERT_TRUE(trace::ParallelReadTraceFile(txt, opt, &res, &diag))
+      << diag.Format();
+  EXPECT_EQ(res.skipped_lines, 2u);
+  EXPECT_GT(res.first_skip.line, 0u);
+  ASSERT_EQ(res.bundle.trace.events.size(), orig.trace.events.size());
+  for (size_t i = 0; i < orig.trace.events.size(); ++i) {
+    ExpectEventsEqual(orig.trace.events[i], res.bundle.trace.events[i], i);
+  }
+  // Without skip_bad_lines the same file fails with a located diagnostic.
+  opt.skip_bad_lines = false;
+  EXPECT_FALSE(trace::ParallelReadTraceFile(txt, opt, &res, &diag));
+  EXPECT_GT(diag.line, 0u);
+  EXPECT_FALSE(diag.message.empty());
+  std::remove(txt.c_str());
+}
+
+TEST(ParallelRead, MissingFile) {
+  trace::ParallelReadResult res;
+  trace::ParseDiag diag;
+  EXPECT_FALSE(trace::ParallelReadTraceFile(TempPath("no_such_file.trace"),
+                                            trace::ParallelReadOptions{}, &res,
+                                            &diag));
+  EXPECT_FALSE(diag.message.empty());
+}
+
+void CheckStreamWindows(const std::string& path,
+                        const trace::TraceBundle& want,
+                        uint64_t window_events, util::ThreadPool* pool) {
+  trace::StreamReaderOptions opt;
+  opt.window_events = window_events;
+  opt.pool = pool;
+  trace::ParseDiag diag;
+  auto reader = trace::StreamReader::Open(path, opt, &diag);
+  ASSERT_NE(reader, nullptr) << diag.Format();
+  std::ostringstream sa, sb;
+  trace::WriteSnapshot(want.snapshot, sa);
+  trace::WriteSnapshot(reader->snapshot(), sb);
+  EXPECT_EQ(sa.str(), sb.str());
+  std::vector<trace::TraceEvent> window;
+  std::vector<trace::TraceEvent> all;
+  size_t windows = 0;
+  while (true) {
+    ASSERT_TRUE(reader->Next(&window, &diag)) << diag.Format();
+    if (window.empty()) break;
+    EXPECT_LE(window.size(),
+              std::max<uint64_t>(window_events,
+                                 reader->is_binary()
+                                     ? trace::kArtctDefaultChunkEvents
+                                     : window_events));
+    all.insert(all.end(), window.begin(), window.end());
+    ++windows;
+  }
+  if (want.trace.events.size() > window_events) {
+    EXPECT_GT(windows, 1u);
+  }
+  ASSERT_EQ(all.size(), want.trace.events.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    ExpectEventsEqual(want.trace.events[i], all[i], i);
+  }
+}
+
+TEST(StreamReader, TextWindows) {
+  auto files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  trace::TraceBundle want = trace::ReadTraceBundleFile(files[0]);
+  for (uint64_t w : {1ull, 7ull, 1000000ull}) {
+    CheckStreamWindows(files[0], want, w, nullptr);
+  }
+}
+
+TEST(StreamReader, ArtctWindows) {
+  check::GenOptions gen;
+  gen.seed = 21;
+  gen.threads = 4;
+  gen.ops_per_thread = 50;
+  trace::TraceBundle want = check::GenerateTrace(gen);
+  const std::string bin = TempPath("artct_stream.artct");
+  std::string error;
+  ASSERT_TRUE(trace::WriteArtctFile(bin, want.trace, want.snapshot, &error,
+                                    /*chunk_events=*/16));
+  util::ThreadPool pool(2);
+  for (uint64_t w : {1ull, 16ull, 33ull, 1000000ull}) {
+    CheckStreamWindows(bin, want, w, nullptr);
+    CheckStreamWindows(bin, want, w, &pool);
+  }
+  trace::StreamReaderOptions opt;
+  trace::ParseDiag diag;
+  auto reader = trace::StreamReader::Open(bin, opt, &diag);
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->is_binary());
+  EXPECT_EQ(reader->event_count_hint(), want.trace.events.size());
+  std::remove(bin.c_str());
+}
+
+TEST(TraceIo, DiagnosticCarriesLocation) {
+  const std::string txt = TempPath("artct_diag.trace");
+  {
+    std::ofstream f(txt);
+    f << "# comment line\n";
+    f << "0 1 1000 2000 open ret=3 path=\"/a\" flags=0x0 mode=0644\n";
+    f << "garbage here\n";
+  }
+  trace::Trace t;
+  trace::ParseDiag diag;
+  EXPECT_FALSE(trace::ReadTraceFile(txt, &t, &diag));
+  EXPECT_EQ(diag.line, 3u);
+  EXPECT_EQ(diag.file, txt);
+  EXPECT_GT(diag.byte_offset, 0u);
+  EXPECT_NE(diag.Format().find(":3"), std::string::npos) << diag.Format();
+  std::remove(txt.c_str());
+
+  trace::ParseDiag missing;
+  EXPECT_FALSE(trace::ReadTraceFile(TempPath("no_such.trace"), &t, &missing));
+  EXPECT_FALSE(missing.message.empty());
+}
+
+}  // namespace
+}  // namespace artc

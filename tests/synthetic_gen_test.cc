@@ -1,0 +1,103 @@
+// Tests for the synthetic large-trace generator family: the generators
+// exist to mint multi-million-action ARTCT inputs for the streaming
+// pipeline, so what matters is that they are deterministic (a perf number
+// measured on a generated trace must be reproducible from its options),
+// well-formed (dense indices, time-ordered merge, every event annotatable
+// against the generated snapshot with zero model warnings), and faithful
+// through the constant-memory ARTCT path.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/fsmodel/resource_model.h"
+#include "src/trace/stream_reader.h"
+#include "src/trace/trace_io.h"
+#include "src/workloads/synthetic_gen.h"
+
+namespace artc::workloads {
+namespace {
+
+SynthOptions SmallOpts(SynthScenario s) {
+  SynthOptions opt;
+  opt.scenario = s;
+  opt.threads = 6;
+  opt.events = 20000;
+  opt.seed = 7;
+  opt.files = 64;
+  return opt;
+}
+
+const SynthScenario kAll[] = {SynthScenario::kWebServer,
+                              SynthScenario::kParallelBuild,
+                              SynthScenario::kMailSpool};
+
+TEST(SyntheticGen, DeterministicForSameOptions) {
+  for (SynthScenario s : kAll) {
+    trace::TraceBundle a = GenerateSyntheticBundle(SmallOpts(s));
+    trace::TraceBundle b = GenerateSyntheticBundle(SmallOpts(s));
+    std::ostringstream ta, tb;
+    trace::WriteTraceBundle(a, ta);
+    trace::WriteTraceBundle(b, tb);
+    EXPECT_EQ(ta.str(), tb.str()) << SynthScenarioName(s);
+    // A different seed must actually change the trace.
+    SynthOptions reseeded = SmallOpts(s);
+    reseeded.seed = 8;
+    trace::TraceBundle c = GenerateSyntheticBundle(reseeded);
+    std::ostringstream tc;
+    trace::WriteTraceBundle(c, tc);
+    EXPECT_NE(ta.str(), tc.str()) << SynthScenarioName(s);
+  }
+}
+
+TEST(SyntheticGen, WellFormedAndAnnotatesWarningFree) {
+  for (SynthScenario s : kAll) {
+    trace::TraceBundle bundle = GenerateSyntheticBundle(SmallOpts(s));
+    ASSERT_EQ(bundle.trace.events.size(), 20000u) << SynthScenarioName(s);
+    int64_t last_enter = 0;
+    for (size_t i = 0; i < bundle.trace.events.size(); ++i) {
+      const trace::TraceEvent& ev = bundle.trace.events[i];
+      ASSERT_EQ(ev.index, i) << SynthScenarioName(s);
+      ASSERT_GE(ev.enter, last_enter)
+          << SynthScenarioName(s) << " event " << i;
+      ASSERT_GT(ev.ret_time, ev.enter) << SynthScenarioName(s);
+      last_enter = ev.enter;
+    }
+    fsmodel::AnnotateOptions aopt;
+    aopt.materialize_labels = false;
+    fsmodel::AnnotatedTrace ann =
+        fsmodel::AnnotateTrace(bundle.trace, bundle.snapshot, aopt);
+    EXPECT_EQ(ann.warnings, 0u) << SynthScenarioName(s);
+  }
+}
+
+TEST(SyntheticGen, ArtctPathMatchesInMemoryBundle) {
+  const std::string path = testing::TempDir() + "synth_gen_roundtrip.artct";
+  SynthOptions opt = SmallOpts(SynthScenario::kMailSpool);
+  std::string error;
+  ASSERT_TRUE(GenerateSyntheticArtct(opt, path, &error)) << error;
+  trace::ParallelReadResult res;
+  trace::ParseDiag diag;
+  ASSERT_TRUE(trace::ParallelReadTraceFile(path, {}, &res, &diag))
+      << diag.Format();
+  trace::TraceBundle want = GenerateSyntheticBundle(opt);
+  std::ostringstream got_text, want_text;
+  trace::WriteTraceBundle(res.bundle, got_text);
+  trace::WriteTraceBundle(want, want_text);
+  EXPECT_EQ(got_text.str(), want_text.str());
+  std::remove(path.c_str());
+}
+
+TEST(SyntheticGen, ScenarioNamesRoundTrip) {
+  for (SynthScenario s : kAll) {
+    SynthScenario parsed;
+    ASSERT_TRUE(SynthScenarioFromName(SynthScenarioName(s), &parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  SynthScenario parsed;
+  EXPECT_FALSE(SynthScenarioFromName("no-such-scenario", &parsed));
+}
+
+}  // namespace
+}  // namespace artc::workloads

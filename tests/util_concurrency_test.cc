@@ -38,6 +38,92 @@ TEST(StringInterner, DenseIdsAndStableViews) {
   EXPECT_EQ(in.View(a).data(), first.data());
 }
 
+TEST(StringInterner, BatchMatchesScalarIntern) {
+  // InternBatch must assign exactly the ids a sequence of Intern() calls
+  // would, including first-sight ordering and duplicate handling within
+  // one batch.
+  StringInterner scalar;
+  StringInterner batched;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back("/batch/path/" + std::to_string(i % 24));  // repeats
+  }
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<uint32_t> batch_ids(keys.size());
+  batched.InternBatch(views.data(), batch_ids.data(), views.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(batch_ids[i], scalar.Intern(keys[i])) << i;
+  }
+  EXPECT_EQ(batched.size(), scalar.size());
+  // A second batch sees everything already interned.
+  std::vector<uint32_t> again(keys.size());
+  batched.InternBatch(views.data(), again.data(), views.size());
+  EXPECT_EQ(again, batch_ids);
+}
+
+TEST(StringInterner, ConcurrentBatchAndScalarAgree) {
+  StringInterner in;
+  constexpr int kThreads = 6;
+  constexpr int kStrings = 1024;
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kStrings));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::string> keys;
+      std::vector<std::string_view> views;
+      for (int i = 0; i < kStrings; ++i) {
+        int k = (i * (2 * t + 1)) % kStrings;
+        keys.push_back("/mixed/path/" + std::to_string(k));
+      }
+      for (const std::string& s : keys) {
+        views.push_back(s);
+      }
+      if (t % 2 == 0) {
+        std::vector<uint32_t> out(kStrings);
+        in.InternBatch(views.data(), out.data(), views.size());
+        for (int i = 0; i < kStrings; ++i) {
+          ids[t][(i * (2 * t + 1)) % kStrings] = out[i];
+        }
+      } else {
+        for (int i = 0; i < kStrings; ++i) {
+          ids[t][(i * (2 * t + 1)) % kStrings] = in.Intern(keys[i]);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(in.size(), static_cast<size_t>(kStrings));
+  for (int k = 0; k < kStrings; ++k) {
+    for (int t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(ids[t][k], ids[0][k]) << "thread " << t << " key " << k;
+    }
+  }
+}
+
+TEST(StringInterner, LocalBatchCachesRepeatsAndSharesIds) {
+  StringInterner shared;
+  LocalBatch a(&shared);
+  LocalBatch b(&shared);
+  const uint32_t ia = a.Intern("/docs/index.html");
+  EXPECT_EQ(ia, a.Intern("/docs/index.html"));  // cache hit
+  EXPECT_EQ(ia, b.Intern("/docs/index.html"));  // same shared id
+  EXPECT_EQ(a.cache_size(), 1u);
+  // Caller buffer reuse must not corrupt the cache: the cache keys on the
+  // interner's stable copy.
+  std::string buf = "/docs/a.html";
+  const uint32_t id1 = a.Intern(buf);
+  buf.assign("/docs/b.html");
+  const uint32_t id2 = a.Intern(buf);
+  EXPECT_NE(id1, id2);
+  buf.assign("/docs/a.html");
+  EXPECT_EQ(id1, a.Intern(buf));
+  EXPECT_EQ(shared.View(id1), "/docs/a.html");
+  EXPECT_EQ(shared.View(id2), "/docs/b.html");
+}
+
 TEST(StringInterner, ConcurrentInternAgreesOnIds) {
   StringInterner in;
   constexpr int kThreads = 8;
