@@ -6,6 +6,9 @@
 #include "src/core/artc.h"
 #include "src/core/compiler.h"
 #include "src/fsmodel/resource_model.h"
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
+#include "src/obs/sampler.h"
 #include "src/util/interner.h"
 #include "src/storage/hdd_model.h"
 #include "src/workloads/micro.h"
@@ -179,6 +182,89 @@ void BM_InternBatchThreaded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InternBatchThreaded)->Threads(1)->Threads(4);
+
+// --- Telemetry-plane overhead -----------------------------------------------
+// These pin the cost of the obs hot paths so the perf gate catches an
+// instrumentation site silently getting expensive. The counter benches
+// measure the exact macro an engine hot loop pays; the sampler/log benches
+// measure the background work a live session adds per tick / per line.
+
+void BM_ObsCounterDisabled(benchmark::State& state) {
+  obs::Disable();
+  for (auto _ : state) {
+    ARTC_OBS_COUNT("bench.obs.disabled_counter", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+  if (state.thread_index() == 0) obs::Enable();
+  for (auto _ : state) {
+    ARTC_OBS_COUNT("bench.obs.enabled_counter", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) obs::Disable();
+}
+BENCHMARK(BM_ObsCounterEnabled)->Threads(1)->Threads(4);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  if (state.thread_index() == 0) obs::Enable();
+  uint64_t v = 1;
+  for (auto _ : state) {
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cycle bucket choice
+    ARTC_OBS_OBSERVE("bench.obs.histogram", v >> 40);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) obs::Disable();
+}
+BENCHMARK(BM_ObsHistogramObserve)->Threads(1)->Threads(4);
+
+void BM_ObsSamplerTick(benchmark::State& state) {
+  // One SampleOnce over a registry shaped like a live replay: a few dozen
+  // counters/gauges plus histograms, pre-populated so every family shows up
+  // in the delta math.
+  obs::Enable();
+  auto& reg = obs::DefaultRegistry();
+  std::vector<obs::MetricId> ids;
+  for (int i = 0; i < 32; ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "bench.sampler.counter.%d", i);
+    ids.push_back(reg.Counter(name));
+    std::snprintf(name, sizeof(name), "bench.sampler.hist.%d", i % 8);
+    ids.push_back(reg.Histogram(name));
+  }
+  for (const obs::MetricId& id : ids) reg.Add(id, 7);
+  obs::TimeSeriesSampler sampler(&reg, obs::SamplerOptions{});
+  uint64_t step = 0;
+  for (auto _ : state) {
+    reg.Add(ids[step++ % ids.size()], 1);  // keep deltas non-trivial
+    obs::TimeSeriesSample s = sampler.SampleOnce();
+    benchmark::DoNotOptimize(s.seq);
+  }
+  state.SetItemsProcessed(state.iterations());
+  obs::Disable();
+}
+BENCHMARK(BM_ObsSamplerTick);
+
+void BM_ObsLogLineFormat(benchmark::State& state) {
+  // The pure formatting cost of a structured log line with typical fields;
+  // excludes the write(2) so the number is stable across CI runners.
+  const obs::LogField fields[] = {
+      obs::LogField("events", static_cast<uint64_t>(1234567)),
+      obs::LogField("window", 42),
+      obs::LogField("path", "/tmp/some/traced/file.dat"),
+      obs::LogField("ratio", 0.8251),
+  };
+  for (auto _ : state) {
+    std::string line = obs::internal::FormatLogLine(
+        obs::LogLevel::kInfo, "bench", "window compiled", fields, 4,
+        1723180000000, 987654321098765, 7, 0);
+    benchmark::DoNotOptimize(line.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsLogLineFormat);
 
 }  // namespace
 }  // namespace artc

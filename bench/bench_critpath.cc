@@ -21,6 +21,7 @@
 #include "src/core/serialize.h"
 #include "src/core/suite.h"
 #include "src/obs/critpath.h"
+#include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/util/thread_pool.h"
 #include "src/workloads/magritte.h"
@@ -188,9 +189,9 @@ int Main(int argc, char** argv) {
   const std::string backend = StringFlag(argc, argv, "backend", "");
   if (!backend.empty() &&
       !sim::ParseSimBackendName(backend, &opt.target.sim_backend)) {
-    std::fprintf(stderr,
-                 "unknown --backend=%s (expected fibers, threads, or parallel)\n",
-                 backend.c_str());
+    obs::LogError("artc_critpath", "unknown --backend value",
+                  {{"backend", backend},
+                   {"expected", "fibers, threads, or parallel"}});
     return 2;
   }
   // Host worker threads for compilation and the parallel backend
@@ -231,6 +232,9 @@ int Main(int argc, char** argv) {
 }  // namespace artc
 
 int main(int argc, char** argv) {
-  artc::obs::ScopedObsSession obs_session;
+  artc::obs::SessionOptions obs_opts;
+  obs_opts.metrics_port = static_cast<int>(artc::FlagValue(
+      argc, argv, "metrics-port", static_cast<uint64_t>(-1)));
+  artc::obs::ScopedObsSession obs_session(obs_opts);
   return artc::Main(argc, argv);
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Converts google-benchmark --benchmark_format=json output to the flat
+{name: {items_per_sec}} shape compare_bench.py gates on.
+
+bench_components_micro speaks google-benchmark's nested JSON; the perf gate
+speaks the flat throughput JSON the bench_* harness binaries emit. This
+bridges the two so microbench families (e.g. the telemetry-plane overhead
+benches) can ride the same committed-baseline gate.
+
+Usage: gbench_to_flat.py [IN.json] > OUT.json   (default stdin)
+Benchmark names are sanitized ('/' -> '.', ':' -> '_') so compare_bench's
+dotted flattening keys stay stable.
+"""
+
+import json
+import sys
+
+
+def flatten(gbench):
+    out = {}
+    for b in gbench.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"].replace("/", ".").replace(":", "_")
+        entry = {}
+        if "items_per_second" in b:
+            entry["items_per_sec"] = b["items_per_second"]
+        if "bytes_per_second" in b:
+            entry["bytes_per_sec"] = b["bytes_per_second"]
+        if entry:
+            out[name] = entry
+    return out
+
+
+def main():
+    src = open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin
+    flat = flatten(json.load(src))
+    if not flat:
+        print("no throughput metrics in input", file=sys.stderr)
+        return 1
+    json.dump(flat, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

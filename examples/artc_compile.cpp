@@ -28,6 +28,8 @@
 #include "src/core/artc.h"
 #include "src/core/compile_stream.h"
 #include "src/core/serialize.h"
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
 #include "src/trace/binary_trace.h"
 #include "src/trace/strace_parser.h"
 #include "src/trace/stream_reader.h"
@@ -41,7 +43,8 @@ void Usage() {
                "                    [--method artc|single|temporal|unconstrained]\n"
                "                    [--no-file-seq] [--no-path-order] [--no-fd-stage]\n"
                "                    [--fd-seq] [--replay-on CONFIG] [--fs PROFILE]\n"
-               "                    [--natural] [--stream] [--window N] [--digest]\n");
+               "                    [--natural] [--stream] [--window N] [--digest]\n"
+               "                    [--metrics-port P]\n");
 }
 
 }  // namespace
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
   bool stream = false;
   bool print_digest = false;
   uint64_t window_events = 1 << 20;
+  artc::obs::SessionOptions obs_opts;
   artc::core::CompileOptions copt;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +105,8 @@ int main(int argc, char** argv) {
       window_events = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--digest") {
       print_digest = true;
+    } else if (arg == "--metrics-port") {
+      obs_opts.metrics_port = std::atoi(next().c_str());
     } else {
       Usage();
       return 2;
@@ -110,6 +116,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  artc::obs::ScopedObsSession obs_session(obs_opts);
 
   if (stream) {
     if (trace_path.empty() || strace_format) {
@@ -124,7 +131,8 @@ int main(int argc, char** argv) {
     artc::trace::ParseDiag diag;
     if (!artc::core::CompileStreamFile(trace_path, ropts, sopts, &res,
                                        nullptr, &diag)) {
-      std::fprintf(stderr, "error: %s\n", diag.Format().c_str());
+      artc::obs::LogError("artc_compile", "stream compile failed",
+                          {{"detail", diag.Format()}});
       return 1;
     }
     std::printf("stream-compiled %llu events in %llu windows (window=%llu)\n",
@@ -146,7 +154,8 @@ int main(int argc, char** argv) {
     artc::trace::TraceBundle bundle;
     std::string error;
     if (!artc::trace::ReadArtctFile(trace_path, &bundle, &error)) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
+      artc::obs::LogError("artc_compile", "cannot read ARTCT trace",
+                          {{"file", trace_path}, {"detail", error}});
       return 1;
     }
     t = std::move(bundle.trace);
@@ -154,9 +163,9 @@ int main(int argc, char** argv) {
   } else if (strace_format) {
     artc::trace::StraceParseResult parsed = artc::trace::ParseStraceFile(trace_path);
     if (parsed.skipped_lines > 0) {
-      std::fprintf(stderr, "warning: skipped %llu lines (first: %s)\n",
-                   static_cast<unsigned long long>(parsed.skipped_lines),
-                   parsed.first_error.c_str());
+      artc::obs::LogWarn("artc_compile", "skipped unparsable strace lines",
+                         {{"skipped", parsed.skipped_lines},
+                          {"first_error", parsed.first_error}});
     }
     t = std::move(parsed.trace);
     t.SortByEnterTime();

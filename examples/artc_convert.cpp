@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
 #include "src/trace/binary_trace.h"
 #include "src/trace/snapshot.h"
 #include "src/trace/strace_parser.h"
@@ -25,7 +27,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: artc_convert --in FILE --out FILE [--to artct|text]\n"
                "                    [--strace] [--snapshot FILE] [--jobs N]\n"
-               "                    [--chunk-events N] [--skip-bad-lines]\n");
+               "                    [--chunk-events N] [--skip-bad-lines]\n"
+               "                    [--metrics-port P]\n");
 }
 
 }  // namespace
@@ -39,6 +42,7 @@ int main(int argc, char** argv) {
   bool skip_bad_lines = false;
   size_t jobs = 0;
   uint32_t chunk_events = artc::trace::kArtctDefaultChunkEvents;
+  artc::obs::SessionOptions obs_opts;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -66,6 +70,8 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoull(next().c_str(), nullptr, 10));
     } else if (arg == "--skip-bad-lines") {
       skip_bad_lines = true;
+    } else if (arg == "--metrics-port") {
+      obs_opts.metrics_port = std::atoi(next().c_str());
     } else {
       Usage();
       return 2;
@@ -75,6 +81,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  artc::obs::ScopedObsSession obs_session(obs_opts);
 
   artc::trace::TraceBundle bundle;
   bool input_binary = false;
@@ -82,13 +89,14 @@ int main(int argc, char** argv) {
     artc::trace::StraceParseResult parsed;
     artc::trace::ParseDiag diag;
     if (!artc::trace::ParseStraceFile(in_path, &parsed, &diag)) {
-      std::fprintf(stderr, "error: %s\n", diag.Format().c_str());
+      artc::obs::LogError("artc_convert", "strace parse failed",
+                          {{"detail", diag.Format()}});
       return 1;
     }
     if (parsed.skipped_lines > 0) {
-      std::fprintf(stderr, "warning: skipped %llu lines (first: %s)\n",
-                   static_cast<unsigned long long>(parsed.skipped_lines),
-                   diag.Format().c_str());
+      artc::obs::LogWarn("artc_convert", "skipped unparsable strace lines",
+                         {{"skipped", parsed.skipped_lines},
+                          {"first_error", diag.Format()}});
     }
     bundle.trace = std::move(parsed.trace);
     bundle.trace.SortByEnterTime();
@@ -99,13 +107,14 @@ int main(int argc, char** argv) {
     artc::trace::ParallelReadResult res;
     artc::trace::ParseDiag diag;
     if (!artc::trace::ParallelReadTraceFile(in_path, opt, &res, &diag)) {
-      std::fprintf(stderr, "error: %s\n", diag.Format().c_str());
+      artc::obs::LogError("artc_convert", "trace parse failed",
+                          {{"detail", diag.Format()}});
       return 1;
     }
     if (res.skipped_lines > 0) {
-      std::fprintf(stderr, "warning: skipped %llu lines (first: %s)\n",
-                   static_cast<unsigned long long>(res.skipped_lines),
-                   res.first_skip.Format().c_str());
+      artc::obs::LogWarn("artc_convert", "skipped unparsable trace lines",
+                         {{"skipped", res.skipped_lines},
+                          {"first_error", res.first_skip.Format()}});
     }
     bundle = std::move(res.bundle);
     input_binary = res.from_binary;
@@ -123,7 +132,8 @@ int main(int argc, char** argv) {
     std::string error;
     if (!artc::trace::WriteArtctFile(out_path, bundle.trace, bundle.snapshot,
                                      &error, chunk_events)) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
+      artc::obs::LogError("artc_convert", "cannot write ARTCT file",
+                          {{"file", out_path}, {"detail", error}});
       return 1;
     }
   } else {

@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
 #include "src/trace/trace_io.h"
 #include "src/workloads/synthetic_gen.h"
 
@@ -20,7 +22,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: artc_synth --out FILE [--scenario webserver|build|mailspool]\n"
                "                  [--threads N] [--events N] [--seed N]\n"
-               "                  [--files N] [--text]\n");
+               "                  [--files N] [--text] [--metrics-port P]\n");
 }
 
 }  // namespace
@@ -28,6 +30,7 @@ void Usage() {
 int main(int argc, char** argv) {
   std::string out_path;
   bool text = false;
+  artc::obs::SessionOptions obs_opts;
   artc::workloads::SynthOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -58,6 +61,8 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoull(next().c_str(), nullptr, 10));
     } else if (arg == "--text") {
       text = true;
+    } else if (arg == "--metrics-port") {
+      obs_opts.metrics_port = std::atoi(next().c_str());
     } else {
       Usage();
       return 2;
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  artc::obs::ScopedObsSession obs_session(obs_opts);
 
   uint64_t n;
   if (text) {
@@ -77,7 +83,8 @@ int main(int argc, char** argv) {
   } else {
     std::string error;
     if (!artc::workloads::GenerateSyntheticArtct(opt, out_path, &error)) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
+      artc::obs::LogError("artc_synth", "synthetic trace generation failed",
+                          {{"file", out_path}, {"detail", error}});
       return 1;
     }
     n = opt.events;

@@ -10,6 +10,7 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -64,7 +65,20 @@ void RunOne(const MagritteSpec& spec) {
 int main(int argc, char** argv) {
   // ARTC_TRACE_OUT=trace.json (optionally ARTC_METRICS_OUT=metrics.json)
   // records the replay for Perfetto / chrome://tracing; see README.
-  artc::obs::ScopedObsSession obs_session;
+  // --metrics-port P (or ARTC_METRICS_PORT=P) serves live /metrics.
+  artc::obs::SessionOptions obs_opts;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      obs_opts.metrics_port = std::atoi(argv[i + 1]);
+      // Swallow the pair so workload selection below still sees argv[1].
+      for (int j = i; j + 2 < argc; ++j) {
+        argv[j] = argv[j + 2];
+      }
+      argc -= 2;
+      break;
+    }
+  }
+  artc::obs::ScopedObsSession obs_session(obs_opts);
   const char* which = argc > 1 ? argv[1] : "iphoto_import";
   if (std::strcmp(which, "--export") == 0 && argc > 2) {
     // Release the suite: one .trace + .snap pair per workload, replayable

@@ -21,6 +21,8 @@
 
 #include "src/check/explorer.h"
 #include "src/check/generator.h"
+#include "src/obs/log.h"
+#include "src/obs/obs.h"
 #include "src/trace/trace_io.h"
 #include "src/util/strings.h"
 
@@ -97,6 +99,11 @@ void ReportExploration(const std::string& name, const ExploreResult& r, Totals* 
 }
 
 int Main(int argc, char** argv) {
+  obs::SessionOptions obs_opts;
+  obs_opts.metrics_port =
+      static_cast<int>(FlagValue(argc, argv, "metrics-port",
+                                 static_cast<uint64_t>(-1)));
+  obs::ScopedObsSession obs_session(obs_opts);
   const uint64_t iters = FlagValue(argc, argv, "iters", 20);
   const uint64_t seed = FlagValue(argc, argv, "seed", 1);
   const uint64_t threads = FlagValue(argc, argv, "threads", 4);
@@ -119,9 +126,9 @@ int Main(int argc, char** argv) {
   const std::string backend = StringFlag(argc, argv, "backend", "");
   if (!backend.empty() &&
       !sim::ParseSimBackendName(backend, &opt.target.sim_backend)) {
-    std::fprintf(stderr,
-                 "unknown --backend=%s (expected fibers, threads, or parallel)\n",
-                 backend.c_str());
+    obs::LogError("check_artc", "unknown --backend value",
+                  {{"backend", backend},
+                   {"expected", "fibers, threads, or parallel"}});
     return 2;
   }
   // 0 = ARTC_JOBS / host core count; forwarded to the parallel backend.
@@ -129,7 +136,8 @@ int Main(int argc, char** argv) {
 
   sim::ScheduleSpec repro_spec;
   if (!schedule.empty() && !ParseScheduleSpec(schedule, &repro_spec)) {
-    std::fprintf(stderr, "unparsable --schedule=%s\n", schedule.c_str());
+    obs::LogError("check_artc", "unparsable --schedule value",
+                  {{"schedule", schedule}});
     return 2;
   }
 

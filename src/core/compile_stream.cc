@@ -357,6 +357,10 @@ uint64_t CompileStream::events_seen() const { return impl_->n; }
 
 uint64_t CompileStream::state_bytes() const { return impl_->StateBytes(); }
 
+uint64_t CompileStream::interner_bytes() const {
+  return impl_->annotator.path_names()->payload_bytes();
+}
+
 bool CompileStreamFile(const std::string& path,
                        const trace::StreamReaderOptions& reader_options,
                        const CompileStreamOptions& stream_options,
@@ -370,6 +374,10 @@ bool CompileStreamFile(const std::string& path,
   CompileStream stream(reader->snapshot(), stream_options);
   CompileStreamFileResult res;
   std::vector<trace::TraceEvent> window;
+  // Gauge cells are additive, so point-in-time sizes export as deltas
+  // against the previous window's value.
+  int64_t last_state = 0;
+  int64_t last_interner = 0;
   while (true) {
     if (!reader->Next(&window, diag)) {
       return false;
@@ -382,6 +390,14 @@ bool CompileStreamFile(const std::string& path,
     }
     ++res.windows;
     res.peak_state_bytes = std::max(res.peak_state_bytes, stream.state_bytes());
+    ARTC_OBS_IF_ENABLED {
+      const int64_t state = static_cast<int64_t>(stream.state_bytes());
+      const int64_t interner = static_cast<int64_t>(stream.interner_bytes());
+      ARTC_OBS_GAUGE_ADD("stream.state_bytes", state - last_state);
+      ARTC_OBS_GAUGE_ADD("stream.interner_bytes", interner - last_interner);
+      last_state = state;
+      last_interner = interner;
+    }
   }
   res.events = stream.events_seen();
   res.digest = stream.Finish(bench);

@@ -77,6 +77,9 @@ class CompileStream {
   // tables + pruner clocks; excludes a materialized benchmark). The RSS
   // acceptance test asserts this stays far below the batch footprint.
   uint64_t state_bytes() const;
+  // Payload bytes held by the path-name interner — the one component of
+  // state_bytes that grows with path diversity rather than event count.
+  uint64_t interner_bytes() const;
 
  private:
   struct Impl;

@@ -1,0 +1,117 @@
+// Prometheus text exposition (format version 0.0.4) for MetricsSnapshot.
+//
+// Mapping rules:
+//  - Names: dotted internal names ("sim.run_queue_depth") become
+//    "artc_sim_run_queue_depth"; any character outside [a-zA-Z0-9_:] maps
+//    to '_', and a leading digit is guarded with '_'.
+//  - Counters gain the conventional "_total" suffix and TYPE counter.
+//  - Gauges export verbatim with TYPE gauge.
+//  - Histograms: the registry's log2 buckets are exclusive per-bucket
+//    counts with inclusive upper bounds; Prometheus buckets are CUMULATIVE,
+//    so each le="N" line carries the running sum, followed by the mandatory
+//    le="+Inf" (== _count), _sum, and _count series.
+//  - Every metric gets one HELP line (echoing the internal name, which is
+//    the only documentation the registry carries) and one TYPE line, both
+//    emitted before any sample of that metric, as the format requires.
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+
+namespace artc::obs {
+namespace {
+
+bool LegalBodyChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// HELP text escaping: backslash and newline only (the format's two escapes).
+void AppendHelpEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendHeader(std::string* out, const std::string& exported,
+                  const std::string& internal_name, const char* type) {
+  *out += "# HELP ";
+  *out += exported;
+  *out += " ";
+  *out += type;
+  *out += " metric ";
+  AppendHelpEscaped(out, internal_name);
+  *out += "\n# TYPE ";
+  *out += exported;
+  *out += " ";
+  *out += type;
+  out->push_back('\n');
+}
+
+void AppendValueLine(std::string* out, const std::string& name, int64_t v) {
+  char buf[32];
+  *out += name;
+  std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out = "artc_";
+  for (char c : name) {
+    out.push_back(LegalBodyChar(c) ? c : '_');
+  }
+  // "artc_" already guards a leading digit; nothing else to do — but an
+  // empty input would export a bare namespace, keep it legal anyway.
+  if (out.size() == 5) {
+    out += "unnamed";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  out.reserve(256 + 96 * (counters.size() + gauges.size()) +
+              512 * histograms.size());
+  char buf[64];
+  for (const auto& [name, value] : counters) {
+    const std::string exported = SanitizeMetricName(name) + "_total";
+    AppendHeader(&out, exported, name, "counter");
+    AppendValueLine(&out, exported, value);
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string exported = SanitizeMetricName(name);
+    AppendHeader(&out, exported, name, "gauge");
+    AppendValueLine(&out, exported, value);
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string exported = SanitizeMetricName(name);
+    AppendHeader(&out, exported, name, "histogram");
+    uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      out += exported;
+      std::snprintf(buf, sizeof(buf), "_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    upper, cumulative);
+      out += buf;
+    }
+    out += exported;
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  h.count);
+    out += buf;
+    AppendValueLine(&out, exported + "_sum", h.sum);
+    out += exported;
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", h.count);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace artc::obs

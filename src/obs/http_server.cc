@@ -1,0 +1,217 @@
+#include "src/obs/http_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "src/obs/log.h"
+#include "src/obs/sampler.h"
+
+namespace artc::obs {
+namespace {
+
+// Reads until the request-head terminator, EOF, or a small cap. Telemetry
+// requests are one GET line plus a few headers; anything bigger is abuse.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->size() < 8192) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return !head->empty();
+    }
+    head->append(buf, static_cast<size_t>(n));
+    if (head->find("\r\n\r\n") != std::string::npos ||
+        head->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return true;
+}
+
+void WriteAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                           MSG_NOSIGNAL
+#else
+                           0
+#endif
+    );
+    if (n <= 0) {
+      return;  // peer went away; a scrape retry is the client's problem
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void Respond(int fd, int status, const char* reason, const char* content_type,
+             std::string_view body) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, reason, content_type, body.size());
+  std::string out(head);
+  out += body;
+  WriteAll(fd, out);
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(const MetricsRegistry* registry,
+                                     const TimeSeriesSampler* sampler,
+                                     HttpServerOptions options)
+    : registry_(registry), sampler_(sampler), opts_(options) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(std::string* error) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (running_) {
+    return true;
+  }
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(opts_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) {
+      *error = std::string("bind/listen: ") + std::strerror(errno);
+    }
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  running_ = true;
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!running_) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  // shutdown() wakes the blocking accept(); close() alone does not on all
+  // platforms.
+  shutdown(listen_fd_, SHUT_RDWR);
+  close(listen_fd_);
+  listen_fd_ = -1;
+  thread_.join();
+  running_ = false;
+}
+
+void MetricsHttpServer::SetPreScrapeHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pre_scrape_hook_ = std::move(hook);
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      LogWarn("obs", "metrics server accept failed, exiting",
+              {{"errno", static_cast<int64_t>(errno)}});
+      return;
+    }
+    // Bound a slow or wedged client: a scrape that cannot send its request
+    // line in 5s forfeits its turn (we handle one connection at a time).
+    timeval tv{};
+    tv.tv_sec = 5;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  std::string head;
+  if (!ReadRequestHead(fd, &head)) {
+    return;
+  }
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    Respond(fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) {
+    path.resize(query);
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (method != "GET") {
+    Respond(fd, 405, "Method Not Allowed", "text/plain",
+            "only GET is supported\n");
+    return;
+  }
+
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    hook = pre_scrape_hook_;
+  }
+
+  if (path == "/metrics") {
+    if (hook) {
+      hook();
+    }
+    Respond(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            registry_->Snapshot().ToPrometheusText());
+  } else if (path == "/metrics.json") {
+    if (hook) {
+      hook();
+    }
+    Respond(fd, 200, "OK", "application/json", registry_->SnapshotJson());
+  } else if (path == "/timeseries") {
+    if (sampler_ == nullptr) {
+      Respond(fd, 404, "Not Found", "text/plain", "no sampler attached\n");
+    } else {
+      Respond(fd, 200, "OK", "application/x-ndjson", sampler_->RingJsonl());
+    }
+  } else if (path == "/healthz") {
+    Respond(fd, 200, "OK", "text/plain", "ok\n");
+  } else {
+    Respond(fd, 404, "Not Found", "text/plain", "unknown path\n");
+  }
+}
+
+}  // namespace artc::obs

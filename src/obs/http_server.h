@@ -1,0 +1,84 @@
+// MetricsHttpServer: a deliberately minimal blocking HTTP/1.1 server that
+// serves the process's telemetry — the first brick of the future artcd
+// daemon. One accept thread, one connection handled at a time (a scrape is
+// a few kilobytes; Prometheus scrapes every few seconds), no keep-alive,
+// no TLS, no dependencies beyond POSIX sockets.
+//
+// Routes:
+//   GET /metrics       Prometheus text exposition of the registry
+//   GET /metrics.json  the registry's JSON snapshot (same as metrics.json)
+//   GET /timeseries    the sampler's in-memory ring as JSONL (404 if no
+//                      sampler is attached)
+//   GET /healthz       "ok"
+//
+// Scrapes observe a consistent-per-cell registry snapshot while writers
+// keep running — same semantics as any exporter. port = 0 binds an
+// ephemeral port; port() reports the bound one.
+#ifndef SRC_OBS_HTTP_SERVER_H_
+#define SRC_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace artc::obs {
+
+class TimeSeriesSampler;
+
+struct HttpServerOptions {
+  uint16_t port = 0;  // 0 = ephemeral (see port())
+};
+
+class MetricsHttpServer {
+ public:
+  // sampler may be nullptr (no /timeseries route). Neither pointer is
+  // owned; both must outlive the server.
+  MetricsHttpServer(const MetricsRegistry* registry,
+                    const TimeSeriesSampler* sampler, HttpServerOptions options);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Binds, listens, and starts the accept thread. Returns false with
+  // *error set on socket failure.
+  bool Start(std::string* error);
+
+  // Unblocks the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  // Invoked before building a /metrics or /metrics.json response — the obs
+  // session folds derived metrics (tracer drops) into the registry here so
+  // every scrape sees them fresh.
+  void SetPreScrapeHook(std::function<void()> hook);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const MetricsRegistry* registry_;
+  const TimeSeriesSampler* sampler_;
+  const HttpServerOptions opts_;
+
+  std::mutex mu_;
+  std::function<void()> pre_scrape_hook_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace artc::obs
+
+#endif  // SRC_OBS_HTTP_SERVER_H_

@@ -50,7 +50,17 @@ struct MetricsSnapshot {
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
   std::string ToJson() const;
+  // Prometheus text exposition format (version 0.0.4): sanitized names with
+  // an "artc_" namespace, counters suffixed "_total", histograms rendered
+  // with cumulative le="..." buckets plus _sum/_count, and one HELP/TYPE
+  // pair per metric. Implemented in export.cc.
+  std::string ToPrometheusText() const;
 };
+
+// Maps an internal metric name (dotted, e.g. "page_cache.hit_blocks") to a
+// Prometheus-legal name: "artc_" prefix, [a-zA-Z0-9_:] alphabet, leading
+// digits guarded. Exposed for tests and the exposition writer.
+std::string SanitizeMetricName(std::string_view name);
 
 class MetricsRegistry {
  public:

@@ -2,6 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "src/obs/http_server.h"
+#include "src/obs/log.h"
+#include "src/obs/sampler.h"
 
 namespace artc::obs {
 namespace internal {
@@ -20,6 +26,32 @@ std::string& TraceOutStorage() {
 std::string& MetricsOutStorage() {
   static std::string* path = new std::string();
   return *path;
+}
+
+// Live-exporter state, guarded by TelemetryMu(). Leaked like the registry:
+// a scrape may race static teardown otherwise.
+struct Telemetry {
+  std::unique_ptr<TimeSeriesSampler> sampler;
+  std::unique_ptr<MetricsHttpServer> server;
+  bool started = false;
+};
+
+std::mutex& TelemetryMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+Telemetry& TelemetryState() {
+  static Telemetry* state = new Telemetry();
+  return *state;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') {
+    return fallback;
+  }
+  return std::strtoll(v, nullptr, 10);
 }
 
 }  // namespace
@@ -46,6 +78,7 @@ void Enable() {
 void Disable() { internal::g_enabled.store(false, std::memory_order_relaxed); }
 
 bool InitFromEnv() {
+  InitLogFromEnv();
   const char* trace_out = std::getenv("ARTC_TRACE_OUT");
   const char* metrics_out = std::getenv("ARTC_METRICS_OUT");
   if (trace_out != nullptr && trace_out[0] != '\0') {
@@ -54,7 +87,10 @@ bool InitFromEnv() {
   if (metrics_out != nullptr && metrics_out[0] != '\0') {
     MetricsOutStorage() = metrics_out;
   }
-  if (!TraceOutPath().empty() || !MetricsOutPath().empty()) {
+  const char* ts_out = std::getenv("ARTC_TIMESERIES_OUT");
+  const bool live = EnvInt("ARTC_METRICS_PORT", -1) >= 0 ||
+                    (ts_out != nullptr && ts_out[0] != '\0');
+  if (!TraceOutPath().empty() || !MetricsOutPath().empty() || live) {
     Enable();
   }
   return Enabled();
@@ -64,7 +100,127 @@ const std::string& TraceOutPath() { return TraceOutStorage(); }
 
 const std::string& MetricsOutPath() { return MetricsOutStorage(); }
 
+void SyncDerivedMetrics() {
+  // Tracer ring drops: exported as a counter by adding the delta since the
+  // last sync (counter cells are additive, shard-local).
+  static std::mutex* mu = new std::mutex();
+  static uint64_t last_dropped = 0;
+  std::lock_guard<std::mutex> lk(*mu);
+  const uint64_t dropped = DefaultTracer().dropped_records();
+  if (dropped > last_dropped) {
+    static const MetricId id = DefaultRegistry().Counter("tracer.dropped_records");
+    DefaultRegistry().Add(id, static_cast<int64_t>(dropped - last_dropped));
+    last_dropped = dropped;
+  } else if (dropped < last_dropped) {
+    last_dropped = dropped;  // Tracer::Clear() rewound the rings
+  }
+}
+
+void StartTelemetry(const SessionOptions& options) {
+  std::lock_guard<std::mutex> lk(TelemetryMu());
+  Telemetry& t = TelemetryState();
+  if (t.started) {
+    return;
+  }
+  t.started = true;
+
+  const int64_t env_port = EnvInt("ARTC_METRICS_PORT", -1);
+  const int port = options.metrics_port >= 0
+                       ? options.metrics_port
+                       : static_cast<int>(env_port);
+  std::string ts_path = options.timeseries_out;
+  if (ts_path.empty()) {
+    const char* env_ts = std::getenv("ARTC_TIMESERIES_OUT");
+    if (env_ts != nullptr) {
+      ts_path = env_ts;
+    }
+  }
+  int64_t period_ms = options.sample_period_ms > 0
+                          ? options.sample_period_ms
+                          : EnvInt("ARTC_TIMESERIES_PERIOD_MS", 1000);
+  if (period_ms <= 0) {
+    period_ms = 1000;
+  }
+
+  const bool want_sampler = !ts_path.empty() || port >= 0;
+  const bool want_server = port >= 0;
+  if (!want_sampler && !want_server) {
+    return;
+  }
+  Enable();
+
+  if (want_sampler) {
+    SamplerOptions sopt;
+    sopt.period_ms = period_ms;
+    sopt.jsonl_path = ts_path;
+    t.sampler = std::make_unique<TimeSeriesSampler>(&DefaultRegistry(), sopt);
+    t.sampler->SetPreSampleHook([] { SyncDerivedMetrics(); });
+    std::string error;
+    if (!t.sampler->Start(&error)) {
+      LogError("obs", "timeseries sampler failed to start", {{"error", error}});
+      t.sampler.reset();
+    } else {
+      LogInfo("obs", "timeseries sampler started",
+              {{"period_ms", period_ms},
+               {"sink", ts_path.empty() ? "(ring only)" : ts_path.c_str()}});
+    }
+  }
+  if (want_server) {
+    HttpServerOptions hopt;
+    hopt.port = static_cast<uint16_t>(port);
+    t.server = std::make_unique<MetricsHttpServer>(&DefaultRegistry(),
+                                                   t.sampler.get(), hopt);
+    t.server->SetPreScrapeHook([] { SyncDerivedMetrics(); });
+    std::string error;
+    if (!t.server->Start(&error)) {
+      LogError("obs", "metrics endpoint failed to start",
+               {{"port", static_cast<int64_t>(port)}, {"error", error}});
+      t.server.reset();
+    } else {
+      LogInfo("obs", "metrics endpoint listening",
+              {{"port", static_cast<int64_t>(t.server->port())},
+               {"path", "/metrics"}});
+    }
+  }
+}
+
+void StopTelemetry() {
+  std::lock_guard<std::mutex> lk(TelemetryMu());
+  Telemetry& t = TelemetryState();
+  // Server first: scrapes reference the sampler's ring.
+  if (t.server != nullptr) {
+    t.server->Stop();
+    t.server.reset();
+  }
+  if (t.sampler != nullptr) {
+    t.sampler->Stop();
+    t.sampler.reset();
+  }
+  t.started = false;
+}
+
+TimeSeriesSampler* ActiveSampler() {
+  std::lock_guard<std::mutex> lk(TelemetryMu());
+  return TelemetryState().sampler.get();
+}
+
+MetricsHttpServer* ActiveMetricsServer() {
+  std::lock_guard<std::mutex> lk(TelemetryMu());
+  return TelemetryState().server.get();
+}
+
+ScopedObsSession::ScopedObsSession(const SessionOptions& options) {
+  InitFromEnv();
+  StartTelemetry(options);
+}
+
+ScopedObsSession::~ScopedObsSession() {
+  StopTelemetry();
+  FlushOutputs();
+}
+
 bool FlushOutputs() {
+  SyncDerivedMetrics();
   bool ok = true;
   const std::string& trace_path = TraceOutPath();
   std::string metrics_path = MetricsOutPath();
@@ -76,6 +232,11 @@ bool FlushOutputs() {
                        : trace_path.substr(0, slash + 1) + "metrics.json";
   }
   if (!trace_path.empty()) {
+    const uint64_t dropped = DefaultTracer().dropped_records();
+    if (dropped > 0) {
+      LogWarn("obs", "trace ring overwrote records; oldest events lost",
+              {{"dropped", dropped}});
+    }
     ok = DefaultTracer().WriteChromeJson(trace_path) && ok;
   }
   if (!metrics_path.empty() && Enabled()) {

@@ -36,9 +36,15 @@ inline bool Enabled() {
 void Enable();
 void Disable();
 
-// Reads ARTC_TRACE_OUT / ARTC_METRICS_OUT. If either is set, enables
-// observability and remembers the output paths for FlushOutputs(). Returns
-// true if observability ended up enabled.
+// Reads the telemetry environment:
+//   ARTC_TRACE_OUT / ARTC_METRICS_OUT        post-mortem artifact paths
+//   ARTC_METRICS_PORT                        live /metrics endpoint port
+//   ARTC_TIMESERIES_OUT                      sampler JSONL sink path
+//   ARTC_TIMESERIES_PERIOD_MS                sampler period (default 1000)
+//   ARTC_LOG_LEVEL / ARTC_LOG_OUT / ARTC_LOG_RATE   structured logging
+// If any metrics/trace/live output is configured, enables observability.
+// Returns true if observability ended up enabled. Does NOT start the live
+// exporters — StartTelemetry() (or ScopedObsSession) does.
 bool InitFromEnv();
 
 // Configured output paths ("" if unset). A trace path with no metrics path
@@ -50,12 +56,44 @@ const std::string& MetricsOutPath();
 // paths). Returns false if any configured write failed.
 bool FlushOutputs();
 
-// RAII env wiring for a harness main(): InitFromEnv on entry, FlushOutputs
-// on exit.
+// Live-telemetry session configuration. Flag values override the env.
+struct SessionOptions {
+  // >= 0: serve /metrics on this port (0 = ephemeral; the bound port is
+  // logged and available via ActiveMetricsServer()->port()). -1: env only.
+  int metrics_port = -1;
+  // > 0: sampler period override in milliseconds.
+  int64_t sample_period_ms = 0;
+  // Non-empty: sampler JSONL sink override.
+  std::string timeseries_out;
+};
+
+// Starts the sampler and/or HTTP endpoint per env + options (idempotent;
+// the first configuration wins). Enables observability if anything starts.
+void StartTelemetry(const SessionOptions& options = {});
+
+// Stops the live exporters (final sampler tick included). Idempotent.
+void StopTelemetry();
+
+// The live exporters, when running (nullptr otherwise). Owned by the obs
+// session; do not delete.
+class TimeSeriesSampler;
+class MetricsHttpServer;
+TimeSeriesSampler* ActiveSampler();
+MetricsHttpServer* ActiveMetricsServer();
+
+// Folds derived sources into the registry so they appear in scrapes: today
+// the Tracer's ring-buffer drop count (counter tracer.dropped_records),
+// which would otherwise be silent loss. Called automatically on every
+// sampler tick, /metrics scrape, and FlushOutputs.
+void SyncDerivedMetrics();
+
+// RAII wiring for a harness main(): InitFromEnv + StartTelemetry on entry;
+// StopTelemetry + FlushOutputs on exit.
 class ScopedObsSession {
  public:
-  ScopedObsSession() { InitFromEnv(); }
-  ~ScopedObsSession() { FlushOutputs(); }
+  ScopedObsSession() : ScopedObsSession(SessionOptions{}) {}
+  explicit ScopedObsSession(const SessionOptions& options);
+  ~ScopedObsSession();
   ScopedObsSession(const ScopedObsSession&) = delete;
   ScopedObsSession& operator=(const ScopedObsSession&) = delete;
 };

@@ -1,0 +1,251 @@
+#include "src/obs/sampler.h"
+
+#include <chrono>
+#include <cinttypes>
+
+#include "src/obs/log.h"
+
+namespace artc::obs {
+namespace {
+
+void AppendKv(std::string* out, bool* first, const std::string& name,
+              const char* fmt, double v) {
+  char buf[96];
+  *out += *first ? "" : ",";
+  *first = false;
+  out->push_back('"');
+  // Metric names are identifier-ish (letters, digits, dots, underscores);
+  // no escaping needed, and the sampler never invents names.
+  *out += name;
+  out->push_back('"');
+  out->push_back(':');
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  *out += buf;
+}
+
+void AppendKv(std::string* out, bool* first, const std::string& name,
+              int64_t v) {
+  char buf[32];
+  *out += *first ? "" : ",";
+  *first = false;
+  out->push_back('"');
+  *out += name;
+  out->push_back('"');
+  out->push_back(':');
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string TimeSeriesSample::ToJsonLine() const {
+  std::string out;
+  out.reserve(256);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%" PRIu64 ",\"ts_ms\":%" PRId64
+                ",\"host_ns\":%" PRId64 ",\"dt_s\":%.6f",
+                seq, wall_unix_ms, host_ns, interval_s);
+  out += buf;
+  bool first;
+  out += ",\"counters\":{";
+  first = true;
+  for (const auto& [name, v] : counters) {
+    AppendKv(&out, &first, name, v);
+  }
+  out += "},\"deltas\":{";
+  first = true;
+  for (const auto& [name, v] : deltas) {
+    AppendKv(&out, &first, name, v);
+  }
+  out += "},\"rates\":{";
+  first = true;
+  for (const auto& [name, v] : rates) {
+    AppendKv(&out, &first, name, "%.6g", v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    AppendKv(&out, &first, name, v);
+  }
+  out += "},\"hist\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRId64
+                  ",\"d_count\":%" PRIu64 ",\"d_sum\":%" PRId64 "}",
+                  first ? "" : ",", name.c_str(), h.count, h.sum, h.d_count,
+                  h.d_sum);
+    out += buf;
+    first = false;
+  }
+  out += "}}\n";
+  return out;
+}
+
+void TimeSeriesSampler::DiffInto(const MetricsSnapshot& prev,
+                                 const MetricsSnapshot& cur,
+                                 double interval_s, TimeSeriesSample* out) {
+  out->interval_s = interval_s;
+  out->counters = cur.counters;
+  out->gauges = cur.gauges;
+  for (const auto& [name, v] : cur.counters) {
+    auto it = prev.counters.find(name);
+    const int64_t before = it != prev.counters.end() ? it->second : 0;
+    // Counters are monotone by contract; clamp anyway so one misbehaving
+    // site cannot poison every rate with a negative spike.
+    const int64_t d = v >= before ? v - before : 0;
+    out->deltas[name] = d;
+    out->rates[name] =
+        interval_s > 0 ? static_cast<double>(d) / interval_s : 0.0;
+  }
+  for (const auto& [name, h] : cur.histograms) {
+    TimeSeriesSample::HistDelta d;
+    d.count = h.count;
+    d.sum = h.sum;
+    auto it = prev.histograms.find(name);
+    const uint64_t pc = it != prev.histograms.end() ? it->second.count : 0;
+    const int64_t ps = it != prev.histograms.end() ? it->second.sum : 0;
+    d.d_count = h.count >= pc ? h.count - pc : 0;
+    d.d_sum = h.sum - ps;
+    out->histograms[name] = d;
+  }
+}
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry* registry,
+                                     SamplerOptions options)
+    : registry_(registry), opts_(std::move(options)) {
+  start_ = std::chrono::steady_clock::now();
+  last_tick_ = start_;
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+bool TimeSeriesSampler::Start(std::string* error) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (running_) {
+    return true;
+  }
+  if (!opts_.jsonl_path.empty() && sink_ == nullptr) {
+    sink_ = std::fopen(opts_.jsonl_path.c_str(), "w");
+    if (sink_ == nullptr) {
+      if (error != nullptr) {
+        *error = "cannot open timeseries sink: " + opts_.jsonl_path;
+      }
+      return false;
+    }
+  }
+  start_ = std::chrono::steady_clock::now();
+  last_tick_ = start_;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { ThreadMain(); });
+  return true;
+}
+
+void TimeSeriesSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) {
+      // Never started (or already stopped): still close a sink opened by a
+      // manual SampleOnce-only session.
+      if (sink_ != nullptr && thread_.get_id() == std::thread::id()) {
+        std::fclose(sink_);
+        sink_ = nullptr;
+      }
+      return;
+    }
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  SampleOnce();  // final partial-interval sample so short runs export > 0 ticks
+  std::lock_guard<std::mutex> lk(mu_);
+  running_ = false;
+  if (sink_ != nullptr) {
+    std::fclose(sink_);
+    sink_ = nullptr;
+  }
+}
+
+void TimeSeriesSampler::ThreadMain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(opts_.period_ms);
+    cv_.wait_until(lk, wake, [this] { return stop_requested_; });
+    if (stop_requested_) {
+      break;
+    }
+    lk.unlock();
+    SampleOnce();
+    lk.lock();
+  }
+}
+
+TimeSeriesSample TimeSeriesSampler::SampleOnce() {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    hook = pre_sample_hook_;
+  }
+  if (hook) {
+    hook();
+  }
+  const MetricsSnapshot cur = registry_->Snapshot();
+  const auto now = std::chrono::steady_clock::now();
+
+  TimeSeriesSample sample;
+  sample.wall_unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+
+  std::lock_guard<std::mutex> lk(mu_);
+  sample.host_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       now - start_)
+                       .count();
+  const double interval_s =
+      std::chrono::duration<double>(now - last_tick_).count();
+  last_tick_ = now;
+  sample.seq = seq_++;
+  DiffInto(have_prev_ ? prev_ : MetricsSnapshot{}, cur, interval_s, &sample);
+  prev_ = cur;
+  have_prev_ = true;
+
+  ring_.push_back(sample);
+  while (ring_.size() > opts_.ring_capacity) {
+    ring_.pop_front();
+  }
+  if (sink_ != nullptr) {
+    const std::string line = sample.ToJsonLine();
+    std::fwrite(line.data(), 1, line.size(), sink_);
+    std::fflush(sink_);
+  }
+  return sample;
+}
+
+std::vector<TimeSeriesSample> TimeSeriesSampler::Ring() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::vector<TimeSeriesSample>(ring_.begin(), ring_.end());
+}
+
+std::string TimeSeriesSampler::RingJsonl() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const TimeSeriesSample& s : ring_) {
+    out += s.ToJsonLine();
+  }
+  return out;
+}
+
+uint64_t TimeSeriesSampler::samples_taken() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_;
+}
+
+void TimeSeriesSampler::SetPreSampleHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pre_sample_hook_ = std::move(hook);
+}
+
+}  // namespace artc::obs

@@ -1,0 +1,126 @@
+// TimeSeriesSampler: turns the cumulative MetricsRegistry into a live
+// time series. A background thread snapshots the registry on a fixed
+// period (merging every thread shard, exactly like any exporter), diffs
+// the snapshot against the previous one into counter deltas and per-second
+// rates, and
+//  - appends one JSON line per tick to an optional JSONL sink
+//    (ARTC_TIMESERIES_OUT), and
+//  - keeps the last ring_capacity samples in memory for the /timeseries
+//    endpoint and post-mortem inspection.
+//
+// Clock domains: wall_unix_ms is the system clock (for correlating with
+// external logs/dashboards); host_ns is monotonic nanoseconds since
+// Start() (for interval math — never affected by NTP steps). Virtual time
+// is deliberately absent: the sampler must not read simulator state, so a
+// live run's replay results stay bit-identical with sampling on or off.
+//
+// The pure delta/rate math is exposed as DiffInto() so tests can pin it
+// without threads or clocks.
+#ifndef SRC_OBS_SAMPLER_H_
+#define SRC_OBS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace artc::obs {
+
+struct TimeSeriesSample {
+  int64_t wall_unix_ms = 0;  // system clock at the tick
+  int64_t host_ns = 0;       // monotonic ns since Start()
+  double interval_s = 0;     // measured distance from the previous tick
+  uint64_t seq = 0;          // tick index, dense from 0
+
+  std::map<std::string, int64_t> counters;  // cumulative values at the tick
+  std::map<std::string, int64_t> deltas;    // counter change over interval
+  std::map<std::string, double> rates;      // deltas / interval_s
+  std::map<std::string, int64_t> gauges;    // instantaneous values
+
+  struct HistDelta {
+    uint64_t count = 0;   // cumulative sample count at the tick
+    int64_t sum = 0;      // cumulative sum at the tick
+    uint64_t d_count = 0; // new samples this interval
+    int64_t d_sum = 0;    // sum of new samples this interval
+  };
+  std::map<std::string, HistDelta> histograms;
+
+  std::string ToJsonLine() const;  // one newline-terminated JSON object
+};
+
+struct SamplerOptions {
+  int64_t period_ms = 1000;
+  size_t ring_capacity = 512;
+  std::string jsonl_path;  // "" = in-memory ring only
+};
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(const MetricsRegistry* registry, SamplerOptions options);
+  ~TimeSeriesSampler();
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  // Opens the JSONL sink (if configured) and starts the tick thread.
+  // Returns false with *error set if the sink cannot be opened.
+  bool Start(std::string* error);
+
+  // Takes one final sample, stops the thread, closes the sink. Idempotent.
+  void Stop();
+
+  // One synchronous tick: snapshot, diff, append to ring + sink. The
+  // background thread calls exactly this; tests may drive it manually
+  // (before Start or after Stop).
+  TimeSeriesSample SampleOnce();
+
+  // Copy of the in-memory ring, oldest first.
+  std::vector<TimeSeriesSample> Ring() const;
+
+  // Ring rendered as JSONL (the /timeseries endpoint body).
+  std::string RingJsonl() const;
+
+  uint64_t samples_taken() const;
+
+  // Invoked at the start of every tick, before the snapshot — the obs
+  // session uses it to fold derived sources (tracer ring drops) into the
+  // registry so they appear in the same scrape.
+  void SetPreSampleHook(std::function<void()> hook);
+
+  // Pure delta/rate math: fills everything except the clock fields.
+  static void DiffInto(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
+                       double interval_s, TimeSeriesSample* out);
+
+ private:
+  void ThreadMain();
+
+  const MetricsRegistry* registry_;
+  const SamplerOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+  std::function<void()> pre_sample_hook_;
+
+  MetricsSnapshot prev_;
+  bool have_prev_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_tick_{};
+  uint64_t seq_ = 0;
+  std::deque<TimeSeriesSample> ring_;
+  std::FILE* sink_ = nullptr;
+};
+
+}  // namespace artc::obs
+
+#endif  // SRC_OBS_SAMPLER_H_

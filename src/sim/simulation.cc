@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -137,6 +138,12 @@ struct Shard {
 
   // Incoming cross-shard messages, drained at window barriers.
   ShardMailbox inbox;
+
+  // Lazily-registered per-shard metric ids (kParallel introspection: which
+  // shards carry the load, and how much host time each one burns).
+  obs::MetricId obs_windows{};
+  obs::MetricId obs_busy_ns{};
+  bool obs_ids_ready = false;
 };
 
 namespace {
@@ -559,6 +566,20 @@ void ReleaseEvent(Shard* s, PendingEvent* ev) {
 }  // namespace
 
 void Simulation::RunShardWindow(Shard* s, TimeNs horizon) {
+  // Host-clock-only introspection: per-shard window and busy-time counters.
+  // Virtual time is never read here, so scrapes cannot perturb the replay.
+  int64_t obs_t0 = 0;
+  ARTC_OBS_IF_ENABLED {
+    if (!s->obs_ids_ready) {
+      char name[48];
+      std::snprintf(name, sizeof(name), "sim.shard.%u.windows", s->index);
+      s->obs_windows = obs::DefaultRegistry().Counter(name);
+      std::snprintf(name, sizeof(name), "sim.shard.%u.busy_ns", s->index);
+      s->obs_busy_ns = obs::DefaultRegistry().Counter(name);
+      s->obs_ids_ready = true;
+    }
+    obs_t0 = obs::DefaultTracer().HostNowNs();
+  }
   // Exactly the original scheduler loop, bounded: ready threads first, then
   // due events, stopping (instead of finishing) once the next event lies at
   // or beyond the horizon. kNoWork as the horizon is the unbounded original.
@@ -594,6 +615,11 @@ void Simulation::RunShardWindow(Shard* s, TimeNs horizon) {
       fn();
     }
   }
+  ARTC_OBS_IF_ENABLED {
+    obs::DefaultRegistry().Add(s->obs_windows, 1);
+    obs::DefaultRegistry().Add(s->obs_busy_ns,
+                               obs::DefaultTracer().HostNowNs() - obs_t0);
+  }
 }
 
 TimeNs Simulation::NextDispatchTime(Shard* s) {
@@ -620,6 +646,8 @@ bool Simulation::DeliverMessages(std::vector<TimeNs>* next_dispatch) {
       continue;
     }
     any = true;
+    ARTC_OBS_OBSERVE("sim.mailbox_depth", msgs.size());
+    ARTC_OBS_COUNT("sim.messages_delivered", msgs.size());
     for (const ShardMessage& m : msgs) {
       messages_delivered_++;
       // The horizon rule guarantees this: effect = sender time + δ >= the
@@ -785,6 +813,10 @@ TimeNs Simulation::RunWindowed() {
     for (TimeNs t : next_dispatch) {
       active += t < horizon ? 1 : 0;
     }
+    ARTC_OBS_OBSERVE("sim.window_active_shards", active);
+    if (horizon != kNoWork) {
+      ARTC_OBS_OBSERVE("sim.window_span_ns", horizon - next);
+    }
     if (workers > 1 && active > 1) {
       {
         std::lock_guard<std::mutex> lk(team.mu);
@@ -794,8 +826,14 @@ TimeNs Simulation::RunWindowed() {
         team.generation++;
         team.start_cv.notify_all();
       }
+      // Coordinator-side barrier wait: how long the slowest worker holds the
+      // window open, on the host clock.
+      int64_t obs_wait0 = 0;
+      ARTC_OBS_IF_ENABLED { obs_wait0 = obs::DefaultTracer().HostNowNs(); }
       std::unique_lock<std::mutex> lk(team.mu);
       team.done_cv.wait(lk, [&] { return team.pending == 0; });
+      ARTC_OBS_OBSERVE("sim.barrier_wait_ns",
+                       obs::DefaultTracer().HostNowNs() - obs_wait0);
     } else {
       // One active shard (or a sequential run): skip the barrier round-trip
       // and run inline on this thread.
@@ -808,11 +846,16 @@ TimeNs Simulation::RunWindowed() {
         RunShardWindow(s, horizon);
       }
     }
+    size_t refreshed = 0;
     for (size_t i = 0; i < shard_n; ++i) {
       if (next_dispatch[i] < horizon) {
         next_dispatch[i] = NextDispatchTime(shards_[i].get());
+        refreshed++;
       }
     }
+    // How much the cached next-dispatch vector saves: refreshes per window
+    // vs shard count is the sparse-window win.
+    ARTC_OBS_COUNT("sim.next_dispatch_refreshes", refreshed);
     DeliverMessages(&next_dispatch);
   }
 

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/obs/obs.h"
 #include "src/util/crc32.h"
 #include "src/util/strings.h"
 
@@ -370,6 +371,8 @@ void ArtctReader::ReleaseChunkPages(uint32_t first, uint32_t count) const {
   const uint64_t hi = end & ~(page - 1);
   if (hi > lo && hi <= map_len_) {
     madvise(const_cast<unsigned char*>(map_) + lo, hi - lo, MADV_DONTNEED);
+    // RSS control visibility: pages handed back to the kernel per window.
+    ARTC_OBS_COUNT("stream.madvised_pages", (hi - lo) / page);
   }
 #else
   (void)first;

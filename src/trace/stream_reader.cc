@@ -301,6 +301,11 @@ bool ParallelReadTraceFile(const std::string& path,
     write += c.parsed;
   }
   events.resize(write);
+  ARTC_OBS_COUNT("parse.chunks", chunks.size());
+  ARTC_OBS_COUNT("parse.events", write);
+  if (out->skipped_lines > 0) {
+    ARTC_OBS_COUNT("parse.skipped_lines", out->skipped_lines);
+  }
 
   std::istringstream snap_in(snapshot_text);
   out->bundle.snapshot = ReadSnapshot(snap_in);
@@ -409,6 +414,14 @@ bool StreamReader::Next(std::vector<TraceEvent>* window, ParseDiag* diag) {
         return false;
       }
     }
+    ARTC_OBS_IF_ENABLED {
+      const uint64_t window_bytes =
+          static_cast<uint64_t>(count) * sizeof(BinaryEvent);
+      ARTC_OBS_OBSERVE("stream.window_bytes", window_bytes);
+      ARTC_OBS_OBSERVE("stream.window_events", count);
+      ARTC_OBS_COUNT("stream.windows", 1);
+      ARTC_OBS_COUNT("stream.events", count);
+    }
     // The window owns copies of everything it needs; let the kernel drop
     // the decoded record pages so RSS tracks the window, not the file.
     reader_->ReleaseChunkPages(first, nchunks);
@@ -465,6 +478,11 @@ bool StreamReader::Next(std::vector<TraceEvent>* window, ParseDiag* diag) {
     }
     ev.index = next_index_++;
     window->push_back(std::move(ev));
+  }
+  if (!window->empty()) {
+    ARTC_OBS_OBSERVE("stream.window_events", window->size());
+    ARTC_OBS_COUNT("stream.windows", 1);
+    ARTC_OBS_COUNT("stream.events", window->size());
   }
   return true;
 }

@@ -45,6 +45,12 @@ void ThreadPool::Submit(std::function<void()> fn) {
     queue_.push_back(std::move(fn));
     ARTC_OBS_COUNT("threadpool.tasks_submitted", 1);
     ARTC_OBS_OBSERVE("threadpool.queue_depth", queue_.size());
+    if (active_ == workers_.size()) {
+      // Every worker busy at submit time: the task will queue, not run.
+      // A high ratio of these to tasks_submitted means the pool is the
+      // bottleneck, not the work.
+      ARTC_OBS_COUNT("threadpool.saturated_submits", 1);
+    }
   }
   work_cv_.notify_one();
 }
@@ -68,6 +74,7 @@ void ThreadPool::WorkerLoop() {
     ARTC_OBS_GAUGE_ADD("threadpool.active_workers", 1);
     fn();
     ARTC_OBS_GAUGE_ADD("threadpool.active_workers", -1);
+    ARTC_OBS_COUNT("threadpool.tasks_completed", 1);
     lock.lock();
     active_--;
     if (queue_.empty() && active_ == 0) {

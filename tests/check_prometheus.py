@@ -1,0 +1,256 @@
+#!/usr/bin/env python3
+"""Validator for the artc telemetry plane's two wire formats.
+
+Modes:
+  --mode prom  (default)  Prometheus text exposition format 0.0.4, as served
+               by the /metrics endpoint. Checks: legal metric names, HELP/TYPE
+               lines precede samples, counters end in _total, histogram
+               bucket series are cumulative and closed by le="+Inf" ==
+               _count, values parse as numbers.
+  --mode jsonl            The sampler's ARTC_TIMESERIES_OUT sink (also the
+               /timeseries endpoint). Checks: one JSON object per line with
+               the required keys, dense monotonically increasing seq,
+               non-negative counter deltas, rate ~= delta / dt_s.
+
+Input is a file path argument or stdin. Exits 0 when clean; prints every
+violation and exits 1 otherwise. --self-test runs the built-in fixtures
+(used by ctest so drift is caught without a live endpoint).
+
+Used by CI: the obs-smoke job curls a live replay's /metrics mid-run and
+pipes it here, then validates the timeseries JSONL the same run wrote.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name[{labels}] value  (no timestamps in our exposition)
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+LE_RE = re.compile(r'le="([^"]+)"')
+
+
+def check_prom(text):
+    """Returns a list of violation strings for a text exposition payload."""
+    errors = []
+    declared = {}  # exported family name -> type
+    seen_samples = set()
+    # histogram family -> list of (le, cumulative_value); closed on +Inf
+    buckets = {}
+    hist_counts = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            errors.append("line %d: empty line inside exposition" % lineno)
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                errors.append("line %d: truncated %s line" % (lineno, parts[1]))
+                continue
+            name = parts[2]
+            if not NAME_RE.match(name):
+                errors.append("line %d: illegal metric name %r" % (lineno, name))
+            if parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                    "untyped"):
+                    errors.append("line %d: unknown TYPE %r" % (lineno, parts[3]))
+                if name in seen_samples:
+                    errors.append(
+                        "line %d: TYPE for %s after its samples" % (lineno, name))
+                declared[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append("line %d: unparsable sample line %r" % (lineno, line))
+            continue
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        try:
+            float(value)
+        except ValueError:
+            errors.append("line %d: non-numeric value %r" % (lineno, value))
+        # Resolve the family: strip histogram/counter series suffixes.
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) == "histogram":
+                family = base
+                break
+        if family not in declared:
+            errors.append("line %d: sample %s has no TYPE declaration" %
+                          (lineno, name))
+            continue
+        seen_samples.add(family)
+        ftype = declared[family]
+        if ftype == "counter" and not name.endswith("_total"):
+            errors.append("line %d: counter sample %s lacks _total" %
+                          (lineno, name))
+        if ftype == "histogram" and name.endswith("_bucket"):
+            le = LE_RE.search(labels or "")
+            if not le:
+                errors.append("line %d: bucket without le label" % lineno)
+            else:
+                buckets.setdefault(family, []).append(
+                    (le.group(1), float(value)))
+        if ftype == "histogram" and name.endswith("_count") and not labels:
+            hist_counts[family] = float(value)
+
+    for family, series in buckets.items():
+        values = [v for (_, v) in series]
+        if values != sorted(values):
+            errors.append("histogram %s: buckets are not cumulative" % family)
+        les = [le for (le, _) in series]
+        if "+Inf" not in les:
+            errors.append("histogram %s: missing le=\"+Inf\" bucket" % family)
+        elif family in hist_counts and series[-1][1] != hist_counts[family]:
+            errors.append("histogram %s: +Inf bucket %g != _count %g" %
+                          (family, series[-1][1], hist_counts[family]))
+    if not seen_samples:
+        errors.append("no samples found (empty scrape?)")
+    return errors
+
+
+def check_jsonl(text, rate_tolerance=0.05):
+    """Returns a list of violation strings for a sampler JSONL payload."""
+    errors = []
+    expected_seq = None
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return ["no samples found (empty timeseries?)"]
+    for lineno, line in enumerate(lines, 1):
+        try:
+            obj = json.loads(line)
+        except ValueError as e:
+            errors.append("line %d: bad JSON: %s" % (lineno, e))
+            continue
+        for key in ("seq", "ts_ms", "host_ns", "dt_s", "counters", "deltas",
+                    "rates", "gauges", "hist"):
+            if key not in obj:
+                errors.append("line %d: missing key %r" % (lineno, key))
+        seq = obj.get("seq")
+        if expected_seq is not None and seq != expected_seq:
+            errors.append("line %d: seq %s, expected %s" %
+                          (lineno, seq, expected_seq))
+        if isinstance(seq, int):
+            expected_seq = seq + 1
+        dt = obj.get("dt_s", 0)
+        for name, delta in obj.get("deltas", {}).items():
+            if delta < 0:
+                errors.append("line %d: negative counter delta %s=%s" %
+                              (lineno, name, delta))
+            rate = obj.get("rates", {}).get(name)
+            if rate is None:
+                errors.append("line %d: delta %s has no rate" % (lineno, name))
+            elif dt > 0:
+                want = delta / dt
+                scale = max(abs(want), 1.0)
+                if abs(rate - want) > rate_tolerance * scale:
+                    errors.append(
+                        "line %d: rate %s=%g but delta/dt = %g" %
+                        (lineno, name, rate, want))
+        for name, h in obj.get("hist", {}).items():
+            if h.get("d_count", 0) < 0 or h.get("count", 0) < 0:
+                errors.append("line %d: negative histogram count in %s" %
+                              (lineno, name))
+    return errors
+
+
+GOOD_PROM = """\
+# HELP artc_sim_windows_total counter metric sim.windows
+# TYPE artc_sim_windows_total counter
+artc_sim_windows_total 42
+# HELP artc_pool_active gauge metric pool.active
+# TYPE artc_pool_active gauge
+artc_pool_active -1
+# HELP artc_lat histogram metric lat
+# TYPE artc_lat histogram
+artc_lat_bucket{le="1"} 1
+artc_lat_bucket{le="3"} 3
+artc_lat_bucket{le="+Inf"} 4
+artc_lat_sum 107
+artc_lat_count 4
+"""
+
+BAD_PROM = """\
+# TYPE artc_ok counter
+artc_ok_total 1
+artc_undeclared 5
+# TYPE artc_bad_hist histogram
+artc_bad_hist_bucket{le="4"} 9
+artc_bad_hist_bucket{le="8"} 3
+artc_bad_hist_sum 1
+artc_bad_hist_count 3
+"""
+
+GOOD_JSONL = "\n".join([
+    json.dumps({"seq": 0, "ts_ms": 1, "host_ns": 10, "dt_s": 0.0,
+                "counters": {"a": 5}, "deltas": {"a": 5}, "rates": {"a": 0.0},
+                "gauges": {}, "hist": {}}),
+    json.dumps({"seq": 1, "ts_ms": 2, "host_ns": 20, "dt_s": 2.0,
+                "counters": {"a": 11}, "deltas": {"a": 6},
+                "rates": {"a": 3.0}, "gauges": {"g": -2},
+                "hist": {"h": {"count": 4, "sum": 9, "d_count": 1,
+                               "d_sum": 3}}}),
+]) + "\n"
+
+BAD_JSONL = "\n".join([
+    json.dumps({"seq": 0, "ts_ms": 1, "host_ns": 10, "dt_s": 1.0,
+                "counters": {}, "deltas": {"a": -3}, "rates": {"a": -3.0},
+                "gauges": {}, "hist": {}}),
+    json.dumps({"seq": 5, "ts_ms": 2, "host_ns": 20, "dt_s": 1.0,
+                "counters": {}, "deltas": {}, "rates": {}, "gauges": {},
+                "hist": {}}),
+]) + "\n"
+
+
+def self_test():
+    failures = []
+    if check_prom(GOOD_PROM):
+        failures.append("good prom fixture reported errors: %s" %
+                        check_prom(GOOD_PROM))
+    bad = check_prom(BAD_PROM)
+    for needle in ("no TYPE declaration", "not cumulative", "+Inf"):
+        if not any(needle in e for e in bad):
+            failures.append("bad prom fixture missed %r (got %s)" %
+                            (needle, bad))
+    if check_jsonl(GOOD_JSONL):
+        failures.append("good jsonl fixture reported errors: %s" %
+                        check_jsonl(GOOD_JSONL))
+    bad = check_jsonl(BAD_JSONL)
+    for needle in ("negative counter delta", "seq 5, expected 1"):
+        if not any(needle in e for e in bad):
+            failures.append("bad jsonl fixture missed %r (got %s)" %
+                            (needle, bad))
+    for f in failures:
+        print("SELF-TEST FAIL:", f)
+    print("self-test:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("path", nargs="?", help="input file (default stdin)")
+    ap.add_argument("--mode", choices=("prom", "jsonl"), default="prom")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in fixtures and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if args.path:
+        with open(args.path) as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    errors = check_prom(text) if args.mode == "prom" else check_jsonl(text)
+    for e in errors:
+        print(e)
+    print("%s: %s" % (args.mode, "FAIL (%d violations)" % len(errors)
+                      if errors else "OK"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
+#include "src/obs/sampler.h"
 #include "src/obs/tracer.h"
 #include "src/util/stats.h"
 
@@ -235,6 +237,137 @@ TEST(SampleStatsEdge, SingleSampleAndExtremeQuantiles) {
   EXPECT_DOUBLE_EQ(s.Min(), 42.0);
   EXPECT_DOUBLE_EQ(s.Max(), 42.0);
   EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+// ---- TimeSeriesSampler delta/rate math (pure, no clocks) ----
+
+TEST(SamplerDiff, CounterDeltasAndRates) {
+  MetricsSnapshot prev;
+  prev.counters["a"] = 100;
+  prev.counters["b"] = 10;
+  MetricsSnapshot cur;
+  cur.counters["a"] = 160;
+  cur.counters["b"] = 10;
+  cur.counters["fresh"] = 5;  // first seen this tick: full value is the delta
+  TimeSeriesSample out;
+  TimeSeriesSampler::DiffInto(prev, cur, /*interval_s=*/2.0, &out);
+  EXPECT_EQ(out.counters.at("a"), 160);
+  EXPECT_EQ(out.deltas.at("a"), 60);
+  EXPECT_DOUBLE_EQ(out.rates.at("a"), 30.0);
+  EXPECT_EQ(out.deltas.at("b"), 0);
+  EXPECT_DOUBLE_EQ(out.rates.at("b"), 0.0);
+  EXPECT_EQ(out.deltas.at("fresh"), 5);
+  EXPECT_DOUBLE_EQ(out.rates.at("fresh"), 2.5);
+}
+
+TEST(SamplerDiff, CounterResetClampsDeltaToZero) {
+  MetricsSnapshot prev;
+  prev.counters["c"] = 50;
+  MetricsSnapshot cur;
+  cur.counters["c"] = 7;  // registry restarted / Tracer::Clear rewind
+  TimeSeriesSample out;
+  TimeSeriesSampler::DiffInto(prev, cur, 1.0, &out);
+  EXPECT_EQ(out.deltas.at("c"), 0);
+  EXPECT_DOUBLE_EQ(out.rates.at("c"), 0.0);
+  EXPECT_EQ(out.counters.at("c"), 7);  // cumulative still reports truth
+}
+
+TEST(SamplerDiff, GaugesAreInstantaneousNotDiffed) {
+  MetricsSnapshot prev;
+  prev.gauges["g"] = 100;
+  MetricsSnapshot cur;
+  cur.gauges["g"] = 4;
+  TimeSeriesSample out;
+  TimeSeriesSampler::DiffInto(prev, cur, 1.0, &out);
+  EXPECT_EQ(out.gauges.at("g"), 4);
+  EXPECT_EQ(out.deltas.count("g"), 0u);
+}
+
+TEST(SamplerDiff, HistogramDeltaCountAndSum) {
+  MetricsSnapshot prev;
+  prev.histograms["h"].count = 10;
+  prev.histograms["h"].sum = 1000;
+  MetricsSnapshot cur;
+  cur.histograms["h"].count = 13;
+  cur.histograms["h"].sum = 1600;
+  TimeSeriesSample out;
+  TimeSeriesSampler::DiffInto(prev, cur, 1.0, &out);
+  EXPECT_EQ(out.histograms.at("h").count, 13u);
+  EXPECT_EQ(out.histograms.at("h").sum, 1600);
+  EXPECT_EQ(out.histograms.at("h").d_count, 3u);
+  EXPECT_EQ(out.histograms.at("h").d_sum, 600);
+}
+
+TEST(SamplerDiff, ZeroIntervalYieldsZeroRates) {
+  MetricsSnapshot prev;
+  prev.counters["x"] = 0;
+  MetricsSnapshot cur;
+  cur.counters["x"] = 9;
+  TimeSeriesSample out;
+  TimeSeriesSampler::DiffInto(prev, cur, 0.0, &out);
+  EXPECT_EQ(out.deltas.at("x"), 9);
+  EXPECT_DOUBLE_EQ(out.rates.at("x"), 0.0);  // no divide-by-zero inf
+}
+
+// ---- Structured log line shape (pure formatter, pinned clocks) ----
+
+TEST(LogFormat, LineShapeWithFields) {
+  const LogField fields[] = {{"skipped", 17}, {"file", "t.trace"}};
+  const std::string line = internal::FormatLogLine(
+      LogLevel::kWarn, "trace", "skipped lines", fields, 2,
+      /*wall_ms=*/1722540000123, /*host_ns=*/81234, /*tid=*/2, /*dropped=*/0);
+  EXPECT_EQ(line,
+            "{\"ts_ms\":1722540000123,\"host_ns\":81234,\"level\":\"warn\","
+            "\"tid\":2,\"component\":\"trace\",\"msg\":\"skipped lines\","
+            "\"fields\":{\"skipped\":17,\"file\":\"t.trace\"}}\n");
+}
+
+TEST(LogFormat, DroppedCountAppearsAfterRateLimiting) {
+  const std::string line = internal::FormatLogLine(
+      LogLevel::kError, "obs", "boom", nullptr, 0, 1, 2, 0, /*dropped=*/5);
+  EXPECT_NE(line.find("\"dropped\":5"), std::string::npos);
+  EXPECT_EQ(line.find("\"fields\""), std::string::npos);
+}
+
+TEST(LogFormat, EscapesQuotesBackslashesAndControlChars) {
+  const LogField fields[] = {{"path", "a\"b\\c\nd"}};
+  const std::string line = internal::FormatLogLine(
+      LogLevel::kInfo, "fs", "msg", fields, 1, 0, 0, 0, 0);
+  EXPECT_NE(line.find("a\\\"b\\\\c\\u000ad"), std::string::npos);
+  // The line is still exactly one physical line.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST(LogFormat, TypedFieldValues) {
+  const LogField fields[] = {{"i", -3}, {"u", uint64_t{18446744073709551615u}},
+                             {"d", 2.5}, {"b", true}};
+  const std::string line = internal::FormatLogLine(
+      LogLevel::kDebug, "t", "m", fields, 4, 0, 0, 0, 0);
+  EXPECT_NE(line.find("\"i\":-3"), std::string::npos);
+  EXPECT_NE(line.find("\"u\":18446744073709551615"), std::string::npos);
+  EXPECT_NE(line.find("\"d\":2.5"), std::string::npos);
+  EXPECT_NE(line.find("\"b\":true"), std::string::npos);
+}
+
+TEST(LogLevelApi, ParseAndNamesRoundTrip) {
+  for (LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                     LogLevel::kError, LogLevel::kOff}) {
+    LogLevel parsed;
+    ASSERT_TRUE(ParseLogLevel(LogLevelName(l), &parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  LogLevel parsed;
+  EXPECT_FALSE(ParseLogLevel("verbose", &parsed));
+}
+
+TEST(LogLevelApi, ThresholdFiltersLowerLevels) {
+  const LogLevel saved = CurrentLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabledFor(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabledFor(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabledFor(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabledFor(LogLevel::kError));
+  SetLogLevel(saved);
 }
 
 }  // namespace
