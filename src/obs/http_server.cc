@@ -1,5 +1,6 @@
 #include "src/obs/http_server.h"
 
+#include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -18,20 +19,31 @@ namespace {
 
 // Reads until the request-head terminator, EOF, or a small cap. Telemetry
 // requests are one GET line plus a few headers; anything bigger is abuse.
-bool ReadRequestHead(int fd, std::string* head) {
+enum class ReadHeadResult {
+  kComplete,  // terminator seen; head is a full request head
+  kClosed,    // EOF or socket error before the terminator
+  kTimeout,   // SO_RCVTIMEO fired before the terminator
+  kTooLarge,  // cap hit before the terminator
+};
+
+ReadHeadResult ReadRequestHead(int fd, std::string* head) {
   char buf[1024];
   while (head->size() < 8192) {
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      return !head->empty();
+    if (n < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK ? ReadHeadResult::kTimeout
+                                                     : ReadHeadResult::kClosed;
+    }
+    if (n == 0) {
+      return ReadHeadResult::kClosed;
     }
     head->append(buf, static_cast<size_t>(n));
     if (head->find("\r\n\r\n") != std::string::npos ||
         head->find("\n\n") != std::string::npos) {
-      return true;
+      return ReadHeadResult::kComplete;
     }
   }
-  return true;
+  return ReadHeadResult::kTooLarge;
 }
 
 void WriteAll(int fd, std::string_view data) {
@@ -91,7 +103,14 @@ bool MetricsHttpServer::Start(std::string* error) {
   setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  if (inet_pton(AF_INET, opts_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "invalid bind address: " + opts_.bind_addr;
+    }
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
   addr.sin_port = htons(opts_.port);
   if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       listen(listen_fd_, 16) != 0) {
@@ -107,34 +126,45 @@ bool MetricsHttpServer::Start(std::string* error) {
     port_ = ntohs(addr.sin_port);
   }
   stopping_.store(false, std::memory_order_relaxed);
-  thread_ = std::thread([this] { AcceptLoop(); });
+  // The loop gets its own copy of the fd: Stop() rewrites listen_fd_ under
+  // mu_, which the accept thread must not read unlocked.
+  thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
   running_ = true;
   return true;
 }
 
 void MetricsHttpServer::Stop() {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (!running_) {
-    return;
+  std::thread accept_thread;
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!running_) {
+      return;
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    // shutdown() wakes the blocking accept(); close() alone does not on all
+    // platforms. The fd stays open until after the join so the accept loop
+    // never races a close/reuse.
+    shutdown(listen_fd_, SHUT_RDWR);
+    fd = listen_fd_;
+    listen_fd_ = -1;
+    accept_thread = std::move(thread_);
+    running_ = false;
   }
-  stopping_.store(true, std::memory_order_relaxed);
-  // shutdown() wakes the blocking accept(); close() alone does not on all
-  // platforms.
-  shutdown(listen_fd_, SHUT_RDWR);
-  close(listen_fd_);
-  listen_fd_ = -1;
-  thread_.join();
-  running_ = false;
+  // Join outside mu_: the accept thread may be mid-scrape, and holding the
+  // lock here while it finishes its response would deadlock shutdown.
+  accept_thread.join();
+  close(fd);
 }
 
 void MetricsHttpServer::SetPreScrapeHook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(hook_mu_);
   pre_scrape_hook_ = std::move(hook);
 }
 
-void MetricsHttpServer::AcceptLoop() {
+void MetricsHttpServer::AcceptLoop(int listen_fd) {
   while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
+    const int fd = accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load(std::memory_order_relaxed)) {
         return;
@@ -159,8 +189,20 @@ void MetricsHttpServer::AcceptLoop() {
 
 void MetricsHttpServer::HandleConnection(int fd) {
   std::string head;
-  if (!ReadRequestHead(fd, &head)) {
-    return;
+  switch (ReadRequestHead(fd, &head)) {
+    case ReadHeadResult::kComplete:
+      break;
+    case ReadHeadResult::kClosed:
+      return;  // peer gave up; nothing to answer
+    case ReadHeadResult::kTimeout:
+      // A trickling client never finished its request head within the
+      // SO_RCVTIMEO window; reject rather than parse the truncated head.
+      Respond(fd, 408, "Request Timeout", "text/plain", "request timeout\n");
+      return;
+    case ReadHeadResult::kTooLarge:
+      Respond(fd, 431, "Request Header Fields Too Large", "text/plain",
+              "request head too large\n");
+      return;
   }
   // Request line: METHOD SP PATH SP VERSION.
   const size_t line_end = head.find_first_of("\r\n");
@@ -186,7 +228,7 @@ void MetricsHttpServer::HandleConnection(int fd) {
 
   std::function<void()> hook;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    std::lock_guard<std::mutex> lk(hook_mu_);
     hook = pre_scrape_hook_;
   }
 

@@ -32,6 +32,10 @@ class TimeSeriesSampler;
 
 struct HttpServerOptions {
   uint16_t port = 0;  // 0 = ephemeral (see port())
+  // Dotted-quad bind address. Defaults to loopback: the endpoint is
+  // unauthenticated, so exposing it beyond the host is an explicit opt-in
+  // ("0.0.0.0" to listen on all interfaces).
+  std::string bind_addr = "127.0.0.1";
 };
 
 class MetricsHttpServer {
@@ -62,7 +66,7 @@ class MetricsHttpServer {
   void SetPreScrapeHook(std::function<void()> hook);
 
  private:
-  void AcceptLoop();
+  void AcceptLoop(int listen_fd);
   void HandleConnection(int fd);
 
   const MetricsRegistry* registry_;
@@ -70,6 +74,10 @@ class MetricsHttpServer {
   const HttpServerOptions opts_;
 
   std::mutex mu_;
+  // Separate lock for the hook: HandleConnection runs on the accept thread,
+  // which Stop() joins while holding mu_ — sharing mu_ would deadlock a
+  // shutdown that races an in-flight scrape.
+  std::mutex hook_mu_;
   std::function<void()> pre_scrape_hook_;
   std::thread thread_;
   std::atomic<bool> stopping_{false};

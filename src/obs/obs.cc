@@ -125,9 +125,22 @@ void StartTelemetry(const SessionOptions& options) {
   t.started = true;
 
   const int64_t env_port = EnvInt("ARTC_METRICS_PORT", -1);
-  const int port = options.metrics_port >= 0
-                       ? options.metrics_port
-                       : static_cast<int>(env_port);
+  int64_t port = options.metrics_port >= 0
+                     ? static_cast<int64_t>(options.metrics_port)
+                     : env_port;
+  if (port > 65535) {
+    // Refuse rather than truncate to uint16_t and bind a surprise port.
+    LogError("obs", "metrics port out of range; endpoint disabled",
+             {{"port", port}});
+    port = -1;
+  }
+  std::string bind_addr = options.metrics_addr;
+  if (bind_addr.empty()) {
+    const char* env_addr = std::getenv("ARTC_METRICS_ADDR");
+    if (env_addr != nullptr && env_addr[0] != '\0') {
+      bind_addr = env_addr;
+    }
+  }
   std::string ts_path = options.timeseries_out;
   if (ts_path.empty()) {
     const char* env_ts = std::getenv("ARTC_TIMESERIES_OUT");
@@ -168,6 +181,9 @@ void StartTelemetry(const SessionOptions& options) {
   if (want_server) {
     HttpServerOptions hopt;
     hopt.port = static_cast<uint16_t>(port);
+    if (!bind_addr.empty()) {
+      hopt.bind_addr = bind_addr;
+    }
     t.server = std::make_unique<MetricsHttpServer>(&DefaultRegistry(),
                                                    t.sampler.get(), hopt);
     t.server->SetPreScrapeHook([] { SyncDerivedMetrics(); });
@@ -178,7 +194,8 @@ void StartTelemetry(const SessionOptions& options) {
       t.server.reset();
     } else {
       LogInfo("obs", "metrics endpoint listening",
-              {{"port", static_cast<int64_t>(t.server->port())},
+              {{"addr", hopt.bind_addr.c_str()},
+               {"port", static_cast<int64_t>(t.server->port())},
                {"path", "/metrics"}});
     }
   }

@@ -39,6 +39,8 @@ void Disable();
 // Reads the telemetry environment:
 //   ARTC_TRACE_OUT / ARTC_METRICS_OUT        post-mortem artifact paths
 //   ARTC_METRICS_PORT                        live /metrics endpoint port
+//   ARTC_METRICS_ADDR                        endpoint bind address
+//                                            (default 127.0.0.1)
 //   ARTC_TIMESERIES_OUT                      sampler JSONL sink path
 //   ARTC_TIMESERIES_PERIOD_MS                sampler period (default 1000)
 //   ARTC_LOG_LEVEL / ARTC_LOG_OUT / ARTC_LOG_RATE   structured logging
@@ -60,7 +62,12 @@ bool FlushOutputs();
 struct SessionOptions {
   // >= 0: serve /metrics on this port (0 = ephemeral; the bound port is
   // logged and available via ActiveMetricsServer()->port()). -1: env only.
+  // Values > 65535 are rejected with an error instead of starting.
   int metrics_port = -1;
+  // Non-empty: endpoint bind address override. Default: ARTC_METRICS_ADDR,
+  // falling back to loopback — the endpoint is unauthenticated, so serving
+  // beyond the host is opt-in ("0.0.0.0").
+  std::string metrics_addr;
   // > 0: sampler period override in milliseconds.
   int64_t sample_period_ms = 0;
   // Non-empty: sampler JSONL sink override.

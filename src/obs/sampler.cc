@@ -71,13 +71,18 @@ std::string TimeSeriesSample::ToJsonLine() const {
   out += "},\"hist\":{";
   first = true;
   for (const auto& [name, h] : histograms) {
-    std::snprintf(buf, sizeof(buf),
-                  "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRId64
-                  ",\"d_count\":%" PRIu64 ",\"d_sum\":%" PRId64 "}",
-                  first ? "" : ",", name.c_str(), h.count, h.sum, h.d_count,
-                  h.d_sum);
-    out += buf;
+    // The name goes in via string append — a fixed buffer would silently
+    // truncate long metric names and emit malformed JSON.
+    out += first ? "" : ",";
     first = false;
+    out.push_back('"');
+    out += name;
+    out += "\":";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\":%" PRIu64 ",\"sum\":%" PRId64
+                  ",\"d_count\":%" PRIu64 ",\"d_sum\":%" PRId64 "}",
+                  h.count, h.sum, h.d_count, h.d_sum);
+    out += buf;
   }
   out += "}}\n";
   return out;

@@ -185,6 +185,73 @@ TEST(MetricsHttpServer, ServesMetricsHealthzAnd404) {
   EXPECT_GE(server.requests_served(), 4u);
 }
 
+// Regression: Stop() used to hold the server mutex across the accept-thread
+// join while HandleConnection locked the same mutex to copy the pre-scrape
+// hook — a scrape in flight during shutdown deadlocked the process.
+TEST(MetricsHttpServer, StopCompletesWhileScrapeInFlight) {
+  MetricsRegistry reg;
+  reg.Add(reg.Counter("x.count"), 1);
+  MetricsHttpServer server(&reg, nullptr, HttpServerOptions{/*port=*/0});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  std::atomic<bool> in_hook{false};
+  server.SetPreScrapeHook([&] {
+    in_hook.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+  const uint16_t port = server.port();
+  std::thread scraper([&] { HttpGet(port, "/metrics"); });
+  // A second client parks in the listen backlog while the first is mid-hook,
+  // covering the accept→hook-copy window Stop() used to race.
+  std::thread parked([&] { HttpGet(port, "/metrics"); });
+  while (!in_hook.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();  // hangs forever on regression; the CI timeout catches it
+  scraper.join();
+  parked.join();
+}
+
+TEST(MetricsHttpServer, InvalidBindAddressFailsStart) {
+  MetricsRegistry reg;
+  HttpServerOptions opts;
+  opts.bind_addr = "not-an-ip";
+  MetricsHttpServer server(&reg, nullptr, opts);
+  std::string error;
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_NE(error.find("invalid bind address"), std::string::npos) << error;
+}
+
+// A client that sends part of a request head and hangs up must get no
+// response — the server used to parse the truncated head and answer 400.
+TEST(MetricsHttpServer, PartialHeadThenEofGetsNoResponse) {
+  MetricsRegistry reg;
+  MetricsHttpServer server(&reg, nullptr, HttpServerOptions{/*port=*/0});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char partial[] = "GET /metrics";  // no terminator, ever
+  ASSERT_EQ(send(fd, partial, sizeof(partial) - 1, 0),
+            static_cast<ssize_t>(sizeof(partial) - 1));
+  shutdown(fd, SHUT_WR);  // EOF with an incomplete head
+  std::string resp;
+  char buf[512];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  EXPECT_TRUE(resp.empty()) << resp;
+  server.Stop();
+}
+
 TEST(MetricsHttpServer, ScrapesStayConsistentUnderConcurrentWriters) {
   MetricsRegistry reg;
   MetricId hot = reg.Counter("load.ops");
@@ -269,6 +336,23 @@ TEST(TimeSeriesSampler, JsonLineShape) {
   EXPECT_NE(line.find("\"c.hist\""), std::string::npos);
   // Exactly one line.
   EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+// Regression: histogram entries were rendered into a fixed 128-byte buffer,
+// so a long metric name truncated mid-entry and broke the JSON.
+TEST(TimeSeriesSampler, LongHistogramNameSurvivesJsonLine) {
+  MetricsRegistry reg;
+  const std::string long_name =
+      "sim.shard.127.pipeline.window_barrier_wait_duration_ns." +
+      std::string(80, 'x');
+  reg.Observe(reg.Histogram(long_name), 5);
+  TimeSeriesSampler sampler(&reg, SamplerOptions{});
+  const std::string line = sampler.SampleOnce().ToJsonLine();
+  EXPECT_NE(line.find("\"" + long_name + "\":{\"count\":1,\"sum\":5"),
+            std::string::npos)
+      << line;
+  ASSERT_GE(line.size(), 3u);
+  EXPECT_EQ(line.substr(line.size() - 3), "}}\n");
 }
 
 TEST(TimeSeriesSampler, StreamsJsonlToSinkWhileRunning) {
