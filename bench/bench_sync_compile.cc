@@ -1,0 +1,116 @@
+// Sync-trace pipeline bench: generates a lockserver synthetic trace
+// (contended mutex pool + barrier phases, recorded as first-class sync
+// events), compiles it, and replays it — timing the compile and reporting
+// the sync-rule edge counts and the replay's lock-stall attribution. Prints
+// one JSON object for bench/compare_bench.py: the virtual-time outputs
+// (action/edge counts, virtual end time, mutex stall) are deterministic and
+// exact-gated; compile throughput is normalized against its peers.
+//
+// Usage:
+//   bench_sync_compile [--threads=N] [--events=N] [--repeat=N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/artc.h"
+#include "src/core/compiler.h"
+#include "src/obs/critpath.h"
+#include "src/obs/obs.h"
+#include "src/workloads/synthetic_gen.h"
+
+namespace artc::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedNs(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(
+             Clock::now() - start)
+      .count();
+}
+
+uint64_t FlagValue(int argc, char** argv, const char* name, uint64_t def) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return def;
+}
+
+int Main(int argc, char** argv) {
+  workloads::SynthOptions opt;
+  opt.scenario = workloads::SynthScenario::kLockServer;
+  opt.threads = static_cast<uint32_t>(FlagValue(argc, argv, "threads", 8));
+  opt.events = FlagValue(argc, argv, "events", 200000);
+  opt.seed = 31;
+  const int repeat = static_cast<int>(FlagValue(argc, argv, "repeat", 3));
+
+  trace::TraceBundle bundle = workloads::GenerateSyntheticBundle(opt);
+
+  double compile_ns = 0;
+  core::CompiledBenchmark bench;
+  for (int i = 0; i < repeat; ++i) {
+    trace::Trace scratch = bundle.trace;
+    auto t0 = Clock::now();
+    bench = core::Compile(std::move(scratch), bundle.snapshot, {});
+    double ns = ElapsedNs(t0);
+    compile_ns = i == 0 ? ns : std::min(compile_ns, ns);
+  }
+
+  core::SimTarget target;
+  target.seed = 7;
+  core::SimReplayResult replay = core::ReplayCompiledOnSimTarget(bench, target);
+  obs::CritPathReport cp = obs::AnalyzeSimReplay(bench, replay);
+
+  auto edges_by = [&](core::RuleTag rule) {
+    return bench.edge_stats.count_by_rule[static_cast<size_t>(rule)];
+  };
+  const uint64_t sync_edges =
+      edges_by(core::RuleTag::kMutex) + edges_by(core::RuleTag::kBarrier) +
+      edges_by(core::RuleTag::kCond) + edges_by(core::RuleTag::kJoin);
+
+  const size_t actions = bench.actions.size();
+  const double compile_secs = compile_ns / 1e9;
+  std::printf("{\n");
+  std::printf("  \"workload\": \"lockserver\",\n");
+  std::printf("  \"actions\": %zu,\n", actions);
+  std::printf("  \"replay_threads\": %zu,\n", bench.thread_actions.size());
+  std::printf("  \"repeat\": %d,\n", repeat);
+  std::printf("  \"edges_after_pruning\": %llu,\n",
+              static_cast<unsigned long long>(bench.dep_arena.size()));
+  std::printf("  \"sync_edges\": %llu,\n",
+              static_cast<unsigned long long>(sync_edges));
+  std::printf("  \"failed_events\": %llu,\n",
+              static_cast<unsigned long long>(replay.report.failed_events));
+  std::printf("  \"virtual_end_ns\": %lld,\n",
+              static_cast<long long>(replay.report.wall_time));
+  std::printf("  \"mutex_stall_ns\": %lld,\n",
+              static_cast<long long>(cp.StallByRule(core::RuleTag::kMutex)));
+  std::printf("  \"barrier_stall_ns\": %lld,\n",
+              static_cast<long long>(cp.StallByRule(core::RuleTag::kBarrier)));
+  std::printf("  \"compile_actions_per_sec\": %.0f\n",
+              compile_secs > 0 ? static_cast<double>(actions) / compile_secs
+                               : 0.0);
+  std::printf("}\n");
+
+  // Sanity: a lockserver trace with no sync edges means the sync rules
+  // silently stopped firing — fail loudly rather than gate on garbage.
+  if (sync_edges == 0 || replay.report.failed_events != 0) {
+    std::fprintf(stderr, "sync pipeline sanity check failed\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace artc::bench
+
+int main(int argc, char** argv) {
+  artc::obs::ScopedObsSession obs_session;
+  return artc::bench::Main(argc, argv);
+}

@@ -51,6 +51,9 @@ DETERMINISTIC_KEYS = (
     "edges_after_pruning",
     "edges_pruned",
     "virtual_match",
+    "sync_edges",
+    "mutex_stall_ns",
+    "barrier_stall_ns",
 )
 
 THROUGHPUT_SUFFIX = "_per_sec"

@@ -1,11 +1,14 @@
 // artc_synth: generates large synthetic traces (web-server, parallel-build,
-// or mail-spool shaped) straight into an ARTCT file — or, with --text, into
-// a text bundle. Generation streams, so --events 10000000 runs in constant
-// memory; this is how the CI perf-smoke step and the streaming-RSS
-// acceptance check mint their inputs.
+// mail-spool, or lock-server shaped) straight into an ARTCT file — or, with
+// --text, into a text bundle. Generation streams, so --events 10000000 runs
+// in constant memory; this is how the CI perf-smoke step and the
+// streaming-RSS acceptance check mint their inputs. The lockserver scenario
+// emits first-class sync events (mutex_lock/unlock on a contended shard
+// pool, barrier_wait phases), exercising the sync ordering rules at scale.
 //
 // Usage:
-//   artc_synth --out trace.artct [--scenario webserver|build|mailspool]
+//   artc_synth --out trace.artct
+//              [--scenario webserver|build|mailspool|lockserver]
 //              [--threads N] [--events N] [--seed N] [--files N] [--text]
 #include <cstdio>
 #include <cstdlib>
@@ -20,7 +23,8 @@ namespace {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: artc_synth --out FILE [--scenario webserver|build|mailspool]\n"
+               "usage: artc_synth --out FILE "
+               "[--scenario webserver|build|mailspool|lockserver]\n"
                "                  [--threads N] [--events N] [--seed N]\n"
                "                  [--files N] [--text] [--metrics-port P]\n");
 }

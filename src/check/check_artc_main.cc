@@ -108,6 +108,10 @@ int Main(int argc, char** argv) {
   const uint64_t seed = FlagValue(argc, argv, "seed", 1);
   const uint64_t threads = FlagValue(argc, argv, "threads", 4);
   const uint64_t ops = FlagValue(argc, argv, "ops", 24);
+  const bool sync = FlagValue(argc, argv, "sync", 0) != 0;
+  const uint64_t sync_mutexes = FlagValue(argc, argv, "sync-mutexes", 2);
+  const uint64_t barrier_phases = FlagValue(argc, argv, "barrier-phases", 2);
+  const uint64_t cond_items = FlagValue(argc, argv, "cond-items", 4);
   const std::string corpus = StringFlag(argc, argv, "corpus", "");
   const std::string out_dir = StringFlag(argc, argv, "out", "check_repros");
   const std::string schedule = StringFlag(argc, argv, "schedule", "");
@@ -199,6 +203,10 @@ int Main(int argc, char** argv) {
       gen.seed = seed + i;
       gen.threads = static_cast<uint32_t>(threads);
       gen.ops_per_thread = static_cast<uint32_t>(ops);
+      gen.sync = sync;
+      gen.sync_mutexes = static_cast<uint32_t>(sync_mutexes);
+      gen.barrier_phases = static_cast<uint32_t>(barrier_phases);
+      gen.cond_items = static_cast<uint32_t>(cond_items);
       trace::TraceBundle bundle = GenerateTrace(gen);
       if (!emit.empty()) {
         // Corpus refresh: save the generated bundle before exploring it.

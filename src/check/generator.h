@@ -17,6 +17,14 @@
 //    which is precisely the property the explorer then tests. Concurrency
 //    stress comes from the multi-schedule replay, not from racing the
 //    recorder.
+//
+// Sync events (GenOptions::sync) are recorded by hand at their grant
+// instants — a lock after SimMutex::Lock returns, a barrier wait at
+// arrival, a cond wait at wakeup — with zero-width call windows. Within a
+// simulation shard only one thread runs at any instant and the recorder
+// appends in execution order, so the stable sort by enter time keeps
+// same-instant sync events (a barrier release, a signal and its wakeup) in
+// the order they actually happened.
 #ifndef SRC_CHECK_GENERATOR_H_
 #define SRC_CHECK_GENERATOR_H_
 
@@ -35,6 +43,17 @@ struct GenOptions {
   uint32_t files_per_dir = 3;  // "/d0/f0" ... ; half pre-bound in the snapshot
   std::string storage = "ssd";
   std::string fs_profile = "ext4";
+
+  // Synchronization workload. When sync is true the workers additionally
+  // fight over a small pool of mutexes (critical sections with fs ops
+  // inside), rendezvous at a shared barrier several times, run a condvar
+  // producer/consumer handoff at the end, and spawn+join child threads —
+  // all recorded as first-class sync trace events at their grant instants
+  // (see trace/syscalls.h for the convention).
+  bool sync = false;
+  uint32_t sync_mutexes = 2;    // contended mutex pool size
+  uint32_t barrier_phases = 2;  // barrier rounds every worker runs
+  uint32_t cond_items = 4;      // items per producer in the condvar handoff
 };
 
 trace::TraceBundle GenerateTrace(const GenOptions& opt);

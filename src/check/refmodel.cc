@@ -66,15 +66,24 @@ class Model {
   }
 
   RefModel Build() {
-    std::unordered_map<uint32_t, uint32_t> last_by_thread;
     for (uint32_t i = 0; i < bundle_.trace.events.size(); ++i) {
       const TraceEvent& ev = bundle_.trace.events[i];
-      auto it = last_by_thread.find(ev.tid);
-      if (it != last_by_thread.end()) {
+      auto it = last_by_thread_.find(ev.tid);
+      if (it != last_by_thread_.end()) {
         Edge(it->second, i, HbRule::kThread);
         it->second = i;
       } else {
-        last_by_thread.emplace(ev.tid, i);
+        last_by_thread_.emplace(ev.tid, i);
+      }
+      // Barrier releases bind to each participant's next action (the wait
+      // itself precedes the pivot in trace order, so the release edge must
+      // land one event later).
+      auto pending = pending_after_.find(ev.tid);
+      if (pending != pending_after_.end()) {
+        for (uint32_t before : pending->second) {
+          Edge(before, i, HbRule::kBarrier);
+        }
+        pending_after_.erase(pending);
       }
       Apply(i, ev);
     }
@@ -331,10 +340,133 @@ class Model {
       case Sys::kStat:
         ApplyStat(i, ev);
         return;
+      case Sys::kMutexLock:
+        ApplyMutexLock(i, ev);
+        return;
+      case Sys::kMutexUnlock:
+        ApplyMutexUnlock(i, ev);
+        return;
+      case Sys::kBarrierInit:
+        ApplyBarrierInit(i, ev);
+        return;
+      case Sys::kBarrierWait:
+        ApplyBarrierWait(i, ev);
+        return;
+      case Sys::kCondWait:
+        ApplyCondWait(i, ev);
+        return;
+      case Sys::kCondSignal:
+        ApplyCondWake(i, ev, /*broadcast=*/false);
+        return;
+      case Sys::kCondBroadcast:
+        ApplyCondWake(i, ev, /*broadcast=*/true);
+        return;
+      case Sys::kThreadJoin:
+        ApplyJoin(i, ev);
+        return;
       default:
         out_.unsupported_events++;
         return;
     }
+  }
+
+  // ---- synchronization happens-before ----
+  // Recording convention (syscalls.h): a blocking call's enter is its grant
+  // instant, except barrier_wait whose enter is the arrival. So a lock
+  // appears after the unlock that released it, a woken wait after its
+  // signal, a join after the target's exit — and the model orders each
+  // against the event that granted it.
+
+  void ApplyMutexLock(uint32_t i, const TraceEvent& ev) {
+    MutexRef& m = mutexes_[ev.sync_id];
+    if (m.locked) {
+      Mismatch(i, ev, "lock of a mutex the model believes locked");
+    }
+    Edge(m.last_unlock, i, HbRule::kMutex);
+    m.locked = true;
+    m.lock_event = i;
+    CheckRet(i, ev, 0);
+  }
+
+  void ApplyMutexUnlock(uint32_t i, const TraceEvent& ev) {
+    auto it = mutexes_.find(ev.sync_id);
+    if (it == mutexes_.end() || !it->second.locked) {
+      Mismatch(i, ev, "unlock of a mutex the model believes unlocked");
+      return;
+    }
+    // Cross-thread handoff: the unlocker must see the critical section
+    // open. Same-thread unlocks are already ordered by the thread rule.
+    Edge(it->second.lock_event, i, HbRule::kMutex);
+    it->second.locked = false;
+    it->second.last_unlock = i;
+    CheckRet(i, ev, 0);
+  }
+
+  void ApplyBarrierInit(uint32_t i, const TraceEvent& ev) {
+    BarrierRef& b = barriers_[ev.sync_id];
+    if (!b.arrivals.empty()) {
+      Mismatch(i, ev, "barrier re-initialized with waiters inside");
+      b.arrivals.clear();
+    }
+    b.count = static_cast<uint32_t>(ev.size);
+    b.opener = i;
+    CheckRet(i, ev, 0);
+  }
+
+  void ApplyBarrierWait(uint32_t i, const TraceEvent& ev) {
+    auto it = barriers_.find(ev.sync_id);
+    if (it == barriers_.end() || it->second.count == 0) {
+      Mismatch(i, ev, "wait on uninitialized barrier");
+      return;
+    }
+    BarrierRef& b = it->second;
+    Edge(b.opener, i, HbRule::kBarrier);
+    b.arrivals.push_back({i, ev.tid});
+    CheckRet(i, ev, 0);
+    if (b.arrivals.size() < b.count) {
+      return;
+    }
+    // This arrival trips the barrier: it happens after every earlier
+    // arrival, and every participant's next action happens after it.
+    for (const auto& [arrival, tid] : b.arrivals) {
+      Edge(arrival, i, HbRule::kBarrier);
+      pending_after_[tid].push_back(i);
+    }
+    b.arrivals.clear();
+    b.opener = i;
+  }
+
+  void ApplyCondWait(uint32_t i, const TraceEvent& ev) {
+    auto it = conds_.find(ev.sync_id);
+    if (it == conds_.end() || it->second.tokens.empty()) {
+      // Spurious wakeup: nothing woke it, so nothing orders it.
+      CheckRet(i, ev, 0);
+      return;
+    }
+    // Latest-signal-first, mirroring how the recorded wakeup instant sits
+    // after the signal that actually released it.
+    CondTokenRef& tok = it->second.tokens.back();
+    Edge(tok.event, i, HbRule::kCond);
+    if (tok.wakeups != UINT64_MAX && --tok.wakeups == 0) {
+      it->second.tokens.pop_back();
+    }
+    CheckRet(i, ev, 0);
+  }
+
+  void ApplyCondWake(uint32_t i, const TraceEvent& ev, bool broadcast) {
+    conds_[ev.sync_id].tokens.push_back(
+        {i, broadcast ? UINT64_MAX : uint64_t{1}});
+    CheckRet(i, ev, 0);
+  }
+
+  void ApplyJoin(uint32_t i, const TraceEvent& ev) {
+    auto it = last_by_thread_.find(static_cast<uint32_t>(ev.sync_id));
+    if (it == last_by_thread_.end()) {
+      Mismatch(i, ev, "join of a thread with no trace events");
+      return;
+    }
+    Edge(it->second, i, HbRule::kJoin);
+    CheckRet(i, ev, 0);
   }
 
   void ApplyOpen(uint32_t i, const TraceEvent& ev) {
@@ -687,6 +819,24 @@ class Model {
     CheckRet(i, ev, 0);  // value (the size) is not class-checked
   }
 
+  struct MutexRef {
+    bool locked = false;
+    uint32_t lock_event = kNoEvent;
+    uint32_t last_unlock = kNoEvent;
+  };
+  struct BarrierRef {
+    uint32_t count = 0;          // 0 = never initialized
+    uint32_t opener = kNoEvent;  // init or the previous phase's pivot
+    std::vector<std::pair<uint32_t, uint32_t>> arrivals;  // (event, tid)
+  };
+  struct CondTokenRef {
+    uint32_t event;    // the signal/broadcast
+    uint64_t wakeups;  // waits it may satisfy; UINT64_MAX for broadcast
+  };
+  struct CondRef {
+    std::vector<CondTokenRef> tokens;  // outstanding, oldest first
+  };
+
   const trace::TraceBundle& bundle_;
   RefModel out_;
   uint64_t root_ = 0;
@@ -694,6 +844,12 @@ class Model {
   std::unordered_map<uint64_t, Node> nodes_;
   std::unordered_map<std::string, PathGen> paths_;
   std::unordered_map<int32_t, FdGen> fds_;
+  std::unordered_map<uint32_t, uint32_t> last_by_thread_;
+  std::unordered_map<uint64_t, MutexRef> mutexes_;
+  std::unordered_map<uint64_t, BarrierRef> barriers_;
+  std::unordered_map<uint64_t, CondRef> conds_;
+  // tid -> barrier pivots whose release edge lands on that thread's next event
+  std::unordered_map<uint32_t, std::vector<uint32_t>> pending_after_;
 };
 
 }  // namespace
@@ -710,6 +866,14 @@ const char* HbRuleName(HbRule rule) {
       return "path-name";
     case HbRule::kFdStage:
       return "fd-stage";
+    case HbRule::kMutex:
+      return "mutex";
+    case HbRule::kBarrier:
+      return "barrier";
+    case HbRule::kCond:
+      return "cond";
+    case HbRule::kJoin:
+      return "join";
   }
   return "?";
 }

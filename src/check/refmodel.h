@@ -14,7 +14,12 @@
 //    generation of the same name is fully retired (folded into the
 //    rebinding edges: the event that rebinds a name is ordered after every
 //    event of the outgoing generation);
-//  * thread rule — a thread's events are ordered among themselves.
+//  * thread rule — a thread's events are ordered among themselves;
+//  * sync rules — critical sections of one mutex are totally ordered
+//    (unlock -> next lock, lock -> its unlock), barrier arrivals all
+//    precede the phase's last arrival which precedes every participant's
+//    next action, a woken cond wait follows its signal/broadcast, and a
+//    join follows the joined thread's last action.
 //
 // The compiler emits every one of these as a completion dependency, so a
 // correct replay must satisfy complete(before) <= issue(after) for each edge
@@ -38,6 +43,10 @@ enum class HbRule : uint8_t {
   kPathStage,  // path-generation creator -> use
   kPathName,   // path-generation retire -> rebind (name rule + stage delete)
   kFdStage,    // fd-generation open -> use, all -> close
+  kMutex,      // unlock -> next lock, lock -> its unlock
+  kBarrier,    // opener -> arrival, arrivals -> pivot, pivot -> continuation
+  kCond,       // signal/broadcast -> the wait it wakes
+  kJoin,       // joined thread's last action -> join
 };
 
 const char* HbRuleName(HbRule rule);

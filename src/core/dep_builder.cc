@@ -28,7 +28,7 @@ void DepBuilder::ArtcTouch(const fsmodel::Touch& touch,
       break;
     case ResourceKind::kPath:
       if (modes.path_stage_name) {
-        NameOrdering(res, c);
+        NameOrdering(res, c, RuleTag::kPathName);
         Stage(c, touch.access, RuleTag::kPathStage);
       }
       break;
@@ -45,10 +45,42 @@ void DepBuilder::ArtcTouch(const fsmodel::Touch& touch,
       }
       break;
     case ResourceKind::kThread:
-      // Structural (each replay thread plays its actions in order);
-      // counted for edge statistics without materialising a dep.
       if (c.touched && c.last_event != kNoEvent) {
-        CountEdge(RuleTag::kThreadSeq, c.last_event);
+        if (ThreadOf(c.last_event) == ThreadOf(cur_event_)) {
+          // Structural (each replay thread plays its actions in order);
+          // counted for edge statistics without materialising a dep.
+          CountEdge(RuleTag::kThreadSeq, c.last_event);
+        } else if (modes.sync_rules) {
+          // A cross-thread touch of a thread resource is a join (or an
+          // action following one): the toucher waits for the thread's
+          // last recorded action to complete.
+          AddDep(c.last_event, DepKind::kCompletion, RuleTag::kJoin);
+        }
+      }
+      break;
+    case ResourceKind::kMutex:
+      if (modes.sync_rules) {
+        // Name ordering chains critical sections (unlock -> next lock);
+        // stage covers a generation retired by a different thread
+        // (unlock-from-elsewhere waits on the lock).
+        NameOrdering(res, c, RuleTag::kMutex);
+        Stage(c, touch.access, RuleTag::kMutex);
+      }
+      break;
+    case ResourceKind::kBarrier:
+      if (modes.sync_rules) {
+        // Stage gives arrivals a dep on the phase opener and the pivot a
+        // fan-in over every earlier arrival; name ordering chains phase
+        // generations (pivot -> next phase's first arrival).
+        NameOrdering(res, c, RuleTag::kBarrier);
+        Stage(c, touch.access, RuleTag::kBarrier);
+      }
+      break;
+    case ResourceKind::kCond:
+      if (modes.sync_rules) {
+        // Wakeup tokens carry no name ordering on purpose: concurrent
+        // signals must not serialize against each other.
+        Stage(c, touch.access, RuleTag::kCond);
       }
       break;
     case ResourceKind::kProgram:
@@ -89,13 +121,13 @@ void DepBuilder::Stage(Cursor& c, Access access, RuleTag rule) {
 }
 
 void DepBuilder::NameOrdering(const fsmodel::ResourceInfo& res,
-                              const Cursor& c) {
+                              const Cursor& c, RuleTag rule) {
   if (c.touched || res.prev_generation == kNoResource) {
     return;  // only the first action of a generation gets the edge
   }
   const Cursor& prev = cursors_[res.prev_generation];
   if (prev.last_event != kNoEvent && prev.last_event != cur_event_) {
-    AddDep(prev.last_event, DepKind::kCompletion, RuleTag::kPathName);
+    AddDep(prev.last_event, DepKind::kCompletion, rule);
   }
 }
 
@@ -210,6 +242,15 @@ uint32_t DepBuilder::NewCompactName(const fsmodel::ResourceInfo& info,
       break;
     case ResourceKind::kAiocb:
       name = StrFormat("aio:%u", info.name_id);
+      break;
+    case ResourceKind::kMutex:
+      name = StrFormat("mutex:%u", info.name_id);
+      break;
+    case ResourceKind::kBarrier:
+      name = StrFormat("barrier:%u", info.name_id);
+      break;
+    case ResourceKind::kCond:
+      name = StrFormat("cond:%u", info.name_id);
       break;
     case ResourceKind::kProgram:
       name = "program";

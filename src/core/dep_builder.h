@@ -104,7 +104,8 @@ class DepBuilder {
  private:
   void Sequential(Cursor& c, RuleTag rule);
   void Stage(Cursor& c, fsmodel::Access access, RuleTag rule);
-  void NameOrdering(const fsmodel::ResourceInfo& res, const Cursor& c);
+  void NameOrdering(const fsmodel::ResourceInfo& res, const Cursor& c,
+                    RuleTag rule);
   void Update(Cursor& c, fsmodel::Access access);
 
   uint32_t ThreadOf(uint32_t event) const { return meta_.thread_index[event]; }

@@ -51,6 +51,14 @@ const char* RuleTagName(RuleTag t) {
       return "fd_seq";
     case RuleTag::kAioStage:
       return "aio_stage";
+    case RuleTag::kMutex:
+      return "mutex";
+    case RuleTag::kBarrier:
+      return "barrier";
+    case RuleTag::kCond:
+      return "cond";
+    case RuleTag::kJoin:
+      return "join";
     case RuleTag::kTemporal:
       return "temporal";
     case RuleTag::kCount:

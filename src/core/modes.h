@@ -27,6 +27,7 @@ struct ReplayModes {
   bool fd_stage = true;         // stage ordering on file descriptors
   bool fd_seq = false;          // sequential ordering on file descriptors
   bool aio_stage = true;        // stage ordering on AIO control blocks
+  bool sync_rules = true;       // ordering on mutex/barrier/cond/join
 };
 
 // Rule tags used for dependency-edge statistics (Fig. 8).
@@ -38,6 +39,10 @@ enum class RuleTag : uint8_t {
   kFdStage,
   kFdSeq,
   kAioStage,
+  kMutex,    // unlock -> next lock, lock -> foreign unlock
+  kBarrier,  // fan-in to the pivot, fan-out to continuations
+  kCond,     // signal/broadcast -> woken wait
+  kJoin,     // joined thread's last action -> join
   kTemporal,
   kCount,
 };

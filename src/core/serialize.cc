@@ -9,7 +9,7 @@
 namespace artc::core {
 namespace {
 
-constexpr char kMagic[8] = {'A', 'R', 'T', 'C', 'B', '0', '0', '4'};
+constexpr char kMagic[8] = {'A', 'R', 'T', 'C', 'B', '0', '0', '5'};
 
 // Minimal length-prefixed binary writer/reader. All integers little-endian
 // native (the file is a local build artifact, not an interchange format).
@@ -76,6 +76,7 @@ void WriteEvent(Writer& w, const trace::TraceEvent& ev) {
   w.Pod<int32_t>(ev.whence);
   w.Str(ev.name);
   w.Pod<uint64_t>(ev.aio_id);
+  w.Pod<uint64_t>(ev.sync_id);
 }
 
 trace::TraceEvent ReadEvent(Reader& r) {
@@ -99,6 +100,7 @@ trace::TraceEvent ReadEvent(Reader& r) {
   ev.whence = r.Pod<int32_t>();
   ev.name = r.Str();
   ev.aio_id = r.Pod<uint64_t>();
+  ev.sync_id = r.Pod<uint64_t>();
   return ev;
 }
 
@@ -113,6 +115,7 @@ void WriteBenchmark(const CompiledBenchmark& bench, std::ostream& out) {
   w.Pod<uint8_t>(bench.modes.fd_stage);
   w.Pod<uint8_t>(bench.modes.fd_seq);
   w.Pod<uint8_t>(bench.modes.aio_stage);
+  w.Pod<uint8_t>(bench.modes.sync_rules);
   w.Pod<uint32_t>(bench.fd_slot_count);
   w.Pod<uint32_t>(bench.aio_slot_count);
   w.Pod<uint64_t>(bench.model_warnings);
@@ -184,6 +187,7 @@ CompiledBenchmark ReadBenchmark(std::istream& in) {
   bench.modes.fd_stage = r.Pod<uint8_t>() != 0;
   bench.modes.fd_seq = r.Pod<uint8_t>() != 0;
   bench.modes.aio_stage = r.Pod<uint8_t>() != 0;
+  bench.modes.sync_rules = r.Pod<uint8_t>() != 0;
   bench.fd_slot_count = r.Pod<uint32_t>();
   bench.aio_slot_count = r.Pod<uint32_t>();
   bench.model_warnings = r.Pod<uint64_t>();

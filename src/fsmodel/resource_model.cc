@@ -1,6 +1,8 @@
 #include "src/fsmodel/resource_model.h"
 
 #include <algorithm>
+
+#include "src/fsmodel/sync_model.h"
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -26,6 +28,12 @@ const char* ResourceKindName(ResourceKind k) {
       return "fd";
     case ResourceKind::kAiocb:
       return "aiocb";
+    case ResourceKind::kMutex:
+      return "mutex";
+    case ResourceKind::kBarrier:
+      return "barrier";
+    case ResourceKind::kCond:
+      return "cond";
   }
   return "?";
 }
@@ -101,7 +109,7 @@ struct AioState {
 // tree, path/fd/aio generation tables, and the growing resource table. Both
 // the batch AnnotateTrace and the public incremental Annotator drive it one
 // event at a time.
-struct Annotator::Impl {
+struct Annotator::Impl : public SyncHost {
   Impl(const trace::FsSnapshot& snapshot, const AnnotateOptions& options)
       : opts_(options) {
     // Resource 0 is the program.
@@ -112,9 +120,34 @@ struct Annotator::Impl {
   void Annotate(const TraceEvent& ev, std::vector<Touch>* touches) {
     cur_ = touches;
     TouchThread(ev.tid);
+    // Touches deferred onto this thread by a sync rendezvous (barrier
+    // fan-out) land on its first event past the rendezvous.
+    auto pending = pending_use_.find(ev.tid);
+    if (pending != pending_use_.end()) {
+      for (uint32_t r : pending->second) {
+        TouchRes(r, Access::kUse);
+      }
+      pending_use_.erase(pending);
+    }
     Handle(ev);
     cur_ = nullptr;
   }
+
+  // ---- SyncHost (services for the sync-object model) ----
+  uint32_t SyncNewResource(ResourceKind kind, std::string label,
+                           uint32_t prev_generation,
+                           uint32_t name_id) override {
+    return NewResource(kind, std::move(label), prev_generation,
+                       /*initially_bound=*/false, name_id);
+  }
+  void SyncTouch(uint32_t resource, Access access) override {
+    TouchRes(resource, access);
+  }
+  void SyncDeferUse(uint32_t tid, uint32_t resource) override {
+    pending_use_[tid].push_back(resource);
+  }
+  void SyncWarn(const std::string& msg) override { Warn(msg); }
+  bool SyncLabels() const override { return Labels(); }
   // ---- resource table ----
   uint32_t NewResource(ResourceKind kind, std::string label,
                        uint32_t prev = kNoResource, bool initially_bound = false,
@@ -866,9 +899,32 @@ struct Annotator::Impl {
         }
         break;
       }
+      case Sys::kMutexLock:
+      case Sys::kMutexUnlock:
+      case Sys::kBarrierInit:
+      case Sys::kBarrierWait:
+      case Sys::kCondWait:
+      case Sys::kCondSignal:
+      case Sys::kCondBroadcast:
+        sync_.Handle(ev);
+        break;
+      case Sys::kThreadJoin: {
+        // The joined thread's id rides in sync_id. Touching its thread
+        // resource hands the dep builder a cross-thread edge from the
+        // target's final action to this join.
+        auto it = thread_res_.find(static_cast<uint32_t>(ev.sync_id));
+        if (it == thread_res_.end()) {
+          Warn(StrFormat("event %llu: join of never-seen thread %llu",
+                         static_cast<unsigned long long>(ev.index),
+                         static_cast<unsigned long long>(ev.sync_id)));
+        } else {
+          TouchRes(it->second, Access::kUse);
+        }
+        break;
+      }
       default:
-        // Calls with no file-system resources beyond the thread (sync,
-        // umask, getcwd, chdir, munmap, madvise, msync, lio_listio, ...).
+        // Calls with no file-system resources beyond the thread (umask,
+        // getcwd, chdir, munmap, madvise, msync, lio_listio, ...).
         break;
     }
   }
@@ -894,6 +950,9 @@ struct Annotator::Impl {
   std::unordered_map<int32_t, FdState> fds_;
   std::unordered_map<uint64_t, AioState> aios_;
   std::unordered_map<uint32_t, uint32_t> thread_res_;
+  SyncObjectModel sync_{this};
+  // tid -> resources whose kUse lands on that thread's next event.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> pending_use_;
 };
 
 Annotator::Annotator(const trace::FsSnapshot& snapshot, const AnnotateOptions& options)

@@ -17,6 +17,9 @@
 //  * fd resources — numeric names with generations on reuse;
 //  * aiocb resources — asynchronous-I/O control blocks, staged between
 //    submission and aio_return;
+//  * sync-object resources — mutexes, barriers, and condition variables as
+//    generation chains (sync_model.h), so lock handoffs, barrier phases and
+//    condvar wakeups become ordinary create/use/delete ordering;
 //  * thread and program resources.
 #ifndef SRC_FSMODEL_RESOURCE_MODEL_H_
 #define SRC_FSMODEL_RESOURCE_MODEL_H_
@@ -39,6 +42,9 @@ enum class ResourceKind : uint8_t {
   kPath,
   kFd,
   kAiocb,
+  kMutex,    // one generation per critical section (lock..unlock)
+  kBarrier,  // phase / release resources of a barrier generation
+  kCond,     // one resource per signal/broadcast wakeup token
 };
 
 enum class Access : uint8_t { kUse, kCreate, kDelete };

@@ -1,0 +1,224 @@
+#include "src/fsmodel/sync_model.h"
+
+#include "src/util/strings.h"
+
+namespace artc::fsmodel {
+
+using trace::Sys;
+using trace::TraceEvent;
+
+bool SyncObjectModel::IsSyncCall(Sys call) {
+  switch (call) {
+    case Sys::kMutexLock:
+    case Sys::kMutexUnlock:
+    case Sys::kBarrierInit:
+    case Sys::kBarrierWait:
+    case Sys::kCondWait:
+    case Sys::kCondSignal:
+    case Sys::kCondBroadcast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void SyncObjectModel::Handle(const TraceEvent& ev) {
+  switch (ev.call) {
+    case Sys::kMutexLock:
+      HandleMutexLock(ev);
+      break;
+    case Sys::kMutexUnlock:
+      HandleMutexUnlock(ev);
+      break;
+    case Sys::kBarrierInit:
+      HandleBarrierInit(ev);
+      break;
+    case Sys::kBarrierWait:
+      HandleBarrierWait(ev);
+      break;
+    case Sys::kCondWait:
+      HandleCondWait(ev);
+      break;
+    case Sys::kCondSignal:
+      HandleCondWake(ev, /*broadcast=*/false);
+      break;
+    case Sys::kCondBroadcast:
+      HandleCondWake(ev, /*broadcast=*/true);
+      break;
+    default:
+      break;
+  }
+}
+
+void SyncObjectModel::HandleMutexLock(const TraceEvent& ev) {
+  MutexState& st = mutexes_[ev.sync_id];
+  if (st.locked) {
+    // Either a relock the tracer let through or a handoff whose unlock the
+    // trace lost. Model inconsistency, not fatal: start a fresh critical
+    // section anyway so later events keep ordering through the chain.
+    host_->SyncWarn(StrFormat(
+        "event %llu: lock of already-locked mutex %llu",
+        static_cast<unsigned long long>(ev.index),
+        static_cast<unsigned long long>(ev.sync_id)));
+  }
+  uint32_t prev = st.resource;
+  st.generation++;
+  st.locked = true;
+  st.resource = host_->SyncNewResource(
+      ResourceKind::kMutex,
+      host_->SyncLabels()
+          ? StrFormat("mutex:%llu@%u",
+                      static_cast<unsigned long long>(ev.sync_id),
+                      st.generation)
+          : std::string(),
+      prev, NameId(ev.sync_id));
+  host_->SyncTouch(st.resource, Access::kCreate);
+}
+
+void SyncObjectModel::HandleMutexUnlock(const TraceEvent& ev) {
+  auto it = mutexes_.find(ev.sync_id);
+  if (it == mutexes_.end() || !it->second.locked) {
+    host_->SyncWarn(StrFormat(
+        "event %llu: unlock of mutex %llu that is not locked",
+        static_cast<unsigned long long>(ev.index),
+        static_cast<unsigned long long>(ev.sync_id)));
+    return;
+  }
+  // Retiring the generation gives the stage rule lock -> unlock (kept only
+  // when the unlocker is another thread) and makes this unlock the edge
+  // source for the next lock's name-ordering dep.
+  host_->SyncTouch(it->second.resource, Access::kDelete);
+  it->second.locked = false;
+}
+
+void SyncObjectModel::HandleBarrierInit(const TraceEvent& ev) {
+  BarrierState& st = barriers_[ev.sync_id];
+  if (!st.arrived_tids.empty()) {
+    host_->SyncWarn(StrFormat(
+        "event %llu: re-init of barrier %llu with waiters inside",
+        static_cast<unsigned long long>(ev.index),
+        static_cast<unsigned long long>(ev.sync_id)));
+    st.arrived_tids.clear();
+  }
+  st.count = static_cast<uint32_t>(ev.size);
+  if (st.count == 0) {
+    host_->SyncWarn(StrFormat(
+        "event %llu: barrier %llu initialized with count 0",
+        static_cast<unsigned long long>(ev.index),
+        static_cast<unsigned long long>(ev.sync_id)));
+    st.count = 1;
+  }
+  st.generation++;
+  const uint32_t name = NameId(ev.sync_id);
+  st.release_res = host_->SyncNewResource(
+      ResourceKind::kBarrier,
+      host_->SyncLabels()
+          ? StrFormat("barrier:%llu/release@%u",
+                      static_cast<unsigned long long>(ev.sync_id),
+                      st.generation)
+          : std::string(),
+      kNoResource, name);
+  host_->SyncTouch(st.release_res, Access::kCreate);
+  st.phase_res = host_->SyncNewResource(
+      ResourceKind::kBarrier,
+      host_->SyncLabels()
+          ? StrFormat("barrier:%llu/phase@%u",
+                      static_cast<unsigned long long>(ev.sync_id),
+                      st.generation)
+          : std::string(),
+      kNoResource, name);
+  host_->SyncTouch(st.phase_res, Access::kCreate);
+}
+
+void SyncObjectModel::HandleBarrierWait(const TraceEvent& ev) {
+  auto it = barriers_.find(ev.sync_id);
+  if (it == barriers_.end() || it->second.count == 0) {
+    host_->SyncWarn(StrFormat(
+        "event %llu: wait on uninitialized barrier %llu",
+        static_cast<unsigned long long>(ev.index),
+        static_cast<unsigned long long>(ev.sync_id)));
+    return;  // stands alone; nothing sound to order it against
+  }
+  BarrierState& st = it->second;
+  // Arrival: order after the phase opened (init or the previous pivot), and
+  // record this thread among the phase's arrivals for the pivot's fan-in.
+  host_->SyncTouch(st.release_res, Access::kUse);
+  host_->SyncTouch(st.phase_res, Access::kUse);
+  st.arrived_tids.push_back(ev.tid);
+  if (st.arrived_tids.size() < st.count) {
+    return;
+  }
+  // Pivot: the phase completes here. Retire the phase resource (fan-in
+  // deps from every earlier arrival), mint the next release (fan-out: each
+  // participant's next event picks up a use of it), and open a fresh phase
+  // generation chained to this one so the next phase's first arrival
+  // name-orders after this pivot.
+  host_->SyncTouch(st.phase_res, Access::kDelete);
+  const uint32_t name = NameId(ev.sync_id);
+  uint32_t prev_release = st.release_res;
+  uint32_t prev_phase = st.phase_res;
+  st.generation++;
+  st.release_res = host_->SyncNewResource(
+      ResourceKind::kBarrier,
+      host_->SyncLabels()
+          ? StrFormat("barrier:%llu/release@%u",
+                      static_cast<unsigned long long>(ev.sync_id),
+                      st.generation)
+          : std::string(),
+      prev_release, name);
+  host_->SyncTouch(st.release_res, Access::kCreate);
+  for (uint32_t tid : st.arrived_tids) {
+    host_->SyncDeferUse(tid, st.release_res);
+  }
+  st.arrived_tids.clear();
+  st.phase_res = host_->SyncNewResource(
+      ResourceKind::kBarrier,
+      host_->SyncLabels()
+          ? StrFormat("barrier:%llu/phase@%u",
+                      static_cast<unsigned long long>(ev.sync_id),
+                      st.generation)
+          : std::string(),
+      prev_phase, name);
+}
+
+void SyncObjectModel::HandleCondWait(const TraceEvent& ev) {
+  auto it = conds_.find(ev.sync_id);
+  if (it == conds_.end() || it->second.tokens.empty()) {
+    // Spurious wakeup, or a trace that lost the signal. The wait's enter is
+    // its wakeup instant, so leaving it unordered is safe — no edge is
+    // better than a fabricated one.
+    host_->SyncWarn(StrFormat(
+        "event %llu: cond wait on %llu with no pending signal",
+        static_cast<unsigned long long>(ev.index),
+        static_cast<unsigned long long>(ev.sync_id)));
+    return;
+  }
+  // Consume the most recent token (LIFO): the wait was recorded at wakeup
+  // time, so of the signals that precede it the latest is the one whose
+  // FUTEX_WAKE actually released it; older unconsumed tokens are wakeups
+  // that were lost or absorbed elsewhere.
+  CondToken& tok = it->second.tokens.back();
+  host_->SyncTouch(tok.resource, Access::kUse);
+  if (tok.wakeups != UINT64_MAX && --tok.wakeups == 0) {
+    it->second.tokens.pop_back();
+  }
+}
+
+void SyncObjectModel::HandleCondWake(const TraceEvent& ev, bool broadcast) {
+  CondState& st = conds_[ev.sync_id];
+  st.generation++;
+  // prev stays kNoResource on purpose: two signals with no wait between
+  // them are concurrent, and a name-ordering edge would serialize them.
+  uint32_t res = host_->SyncNewResource(
+      ResourceKind::kCond,
+      host_->SyncLabels()
+          ? StrFormat("cond:%llu@%u%s",
+                      static_cast<unsigned long long>(ev.sync_id),
+                      st.generation, broadcast ? "(broadcast)" : "")
+          : std::string(),
+      kNoResource, NameId(ev.sync_id));
+  host_->SyncTouch(res, Access::kCreate);
+  st.tokens.push_back({res, broadcast ? UINT64_MAX : uint64_t{1}});
+}
+
+}  // namespace artc::fsmodel

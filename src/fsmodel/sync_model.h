@@ -1,0 +1,120 @@
+// Synchronization objects as first-class ROOT resources (paper Sec. 3.1
+// generalized beyond the file system).
+//
+// The annotator owns a SyncObjectModel and routes every sync call
+// (mutex_lock/unlock, barrier_init/wait, cond_wait/signal/broadcast) to it.
+// The model translates each call into create/use/delete touches on
+// generation-numbered resources, so the compiler's existing ordering rules
+// reproduce the synchronization happens-before edges with no new machinery
+// in the dependency builder beyond three resource-kind cases:
+//
+//  * mutex — each critical section is one generation. lock mints a fresh
+//    resource (kCreate) whose prev_generation is the previous section, so
+//    the name-ordering rule emits unlock(n) -> lock(n+1); unlock touches
+//    the same resource with kDelete, so the stage rule emits
+//    lock -> unlock (materialized only when the unlocker is a different
+//    thread — the same-thread case is structural).
+//  * barrier — a phase resource collects arrivals (kUse) and is retired by
+//    the last arrival (the pivot, kDelete), giving fan-in edges from every
+//    earlier arrival to the pivot. The pivot also mints the next release
+//    resource (kCreate) and defers a kUse touch of it onto each
+//    participant's next event, giving fan-out edges pivot -> continuation.
+//    Deps only point backward in trace order, which is why the fan-out
+//    rides on the *next* event of each waiter rather than the wait itself.
+//  * condvar — each signal/broadcast mints a wakeup-token resource
+//    (kCreate); a woken wait consumes a token (kUse), so the stage rule
+//    emits signal -> wakeup. A wait with no pending token (spurious wakeup
+//    or lost-wakeup trace) orders against nothing — recording convention
+//    places the wait's enter at wakeup time, after its signal.
+//
+// Recording convention (syscalls.h): blocking calls log `enter` at the
+// *grant* instant, except barrier_wait which logs arrival. thread_join is
+// not handled here — it needs the annotator's thread-resource table and is
+// handled inline in resource_model.cc.
+#ifndef SRC_FSMODEL_SYNC_MODEL_H_
+#define SRC_FSMODEL_SYNC_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fsmodel/resource_model.h"
+#include "src/trace/event.h"
+
+namespace artc::fsmodel {
+
+// Services the sync model needs from its owner (the annotator). Split out
+// so the model stays a pure state machine over resource ids and the
+// annotator keeps sole ownership of the resource table and touch vector.
+class SyncHost {
+ public:
+  virtual ~SyncHost() = default;
+  // Appends a resource to the table and returns its id.
+  virtual uint32_t SyncNewResource(ResourceKind kind, std::string label,
+                                   uint32_t prev_generation,
+                                   uint32_t name_id) = 0;
+  // Adds a touch of `resource` to the event currently being annotated.
+  virtual void SyncTouch(uint32_t resource, Access access) = 0;
+  // Schedules a kUse touch of `resource` onto the NEXT event of `tid`.
+  virtual void SyncDeferUse(uint32_t tid, uint32_t resource) = 0;
+  virtual void SyncWarn(const std::string& msg) = 0;
+  virtual bool SyncLabels() const = 0;
+};
+
+class SyncObjectModel {
+ public:
+  explicit SyncObjectModel(SyncHost* host) : host_(host) {}
+
+  // True for the calls this model consumes (mutex/barrier/cond; NOT
+  // thread_join, which the annotator handles against its thread table).
+  static bool IsSyncCall(trace::Sys call);
+
+  // Translates one sync event into touches. Call only for IsSyncCall.
+  void Handle(const trace::TraceEvent& ev);
+
+ private:
+  struct MutexState {
+    uint32_t resource = kNoResource;  // current critical-section generation
+    bool locked = false;
+    uint32_t generation = 0;
+  };
+  struct BarrierState {
+    uint32_t count = 0;  // participants per phase; 0 = never initialized
+    uint32_t phase_res = kNoResource;    // collects this phase's arrivals
+    uint32_t release_res = kNoResource;  // minted by the previous pivot
+    uint32_t generation = 0;
+    std::vector<uint32_t> arrived_tids;  // this phase's arrivals, in order
+  };
+  struct CondToken {
+    uint32_t resource;  // the signal/broadcast event's wakeup resource
+    uint64_t wakeups;   // waits it may satisfy; UINT64_MAX for broadcast
+  };
+  struct CondState {
+    std::vector<CondToken> tokens;  // outstanding tokens, oldest first
+    uint32_t generation = 0;
+  };
+
+  void HandleMutexLock(const trace::TraceEvent& ev);
+  void HandleMutexUnlock(const trace::TraceEvent& ev);
+  void HandleBarrierInit(const trace::TraceEvent& ev);
+  void HandleBarrierWait(const trace::TraceEvent& ev);
+  void HandleCondWait(const trace::TraceEvent& ev);
+  void HandleCondWake(const trace::TraceEvent& ev, bool broadcast);
+
+  // Attribution key shared by every generation of one sync object: fold the
+  // 64-bit traced identity (often a futex address) into ResourceInfo's
+  // 32-bit name_id.
+  static uint32_t NameId(uint64_t sync_id) {
+    return static_cast<uint32_t>(sync_id ^ (sync_id >> 32));
+  }
+
+  SyncHost* host_;
+  std::unordered_map<uint64_t, MutexState> mutexes_;
+  std::unordered_map<uint64_t, BarrierState> barriers_;
+  std::unordered_map<uint64_t, CondState> conds_;
+};
+
+}  // namespace artc::fsmodel
+
+#endif  // SRC_FSMODEL_SYNC_MODEL_H_

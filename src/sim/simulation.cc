@@ -1083,4 +1083,19 @@ void SimMutex::Unlock() {
   cv_.NotifyOne();
 }
 
+bool SimBarrier::Wait() {
+  ARTC_CHECK(count_ > 0);
+  const uint64_t my_phase = phase_;
+  if (++arrived_ == count_) {
+    arrived_ = 0;
+    phase_++;
+    cv_.NotifyAll();
+    return true;
+  }
+  while (phase_ == my_phase) {
+    cv_.Wait();
+  }
+  return false;
+}
+
 }  // namespace artc::sim

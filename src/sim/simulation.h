@@ -182,6 +182,27 @@ class SimMutex {
   bool locked_ = false;
 };
 
+// A cyclic barrier for simulated threads: the first count-1 arrivals block
+// in virtual time; the count-th releases everyone and opens the next phase.
+// Wait() returns true on the arrival that tripped the barrier (the pivot),
+// mirroring PTHREAD_BARRIER_SERIAL_THREAD.
+class SimBarrier {
+ public:
+  SimBarrier(Simulation* simulation, uint32_t count)
+      : sim_(simulation), cv_(simulation), count_(count) {}
+  SimBarrier(const SimBarrier&) = delete;
+  SimBarrier& operator=(const SimBarrier&) = delete;
+
+  bool Wait();
+
+ private:
+  Simulation* sim_;
+  SimCondVar cv_;
+  uint32_t count_;
+  uint32_t arrived_ = 0;
+  uint64_t phase_ = 0;
+};
+
 class Simulation {
  public:
   explicit Simulation(uint64_t seed, SimBackend backend = DefaultSimBackend(),

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <type_traits>
 
 #include "src/obs/obs.h"
 #include "src/util/crc32.h"
@@ -60,6 +61,7 @@ void ArtctWriter::Add(const TraceEvent& ev) {
   b.offset = ev.offset;
   b.size = ev.size;
   b.aio_id = ev.aio_id;
+  b.sync_id = ev.sync_id;
   b.tid = ev.tid;
   b.path_id = ev.path.empty() ? 0 : string_cache_.Intern(ev.path);
   b.path2_id = ev.path2.empty() ? 0 : string_cache_.Intern(ev.path2);
@@ -209,15 +211,15 @@ std::unique_ptr<ArtctReader> ArtctReader::Open(const std::string& path,
   if (std::memcmp(h.magic, kArtctMagic, sizeof(h.magic)) != 0) {
     return fail("not an ARTCT file (bad magic)");
   }
-  if (h.version != kArtctVersion) {
-    return fail(StrFormat("unsupported ARTCT version %u (reader speaks %u)",
-                          h.version, kArtctVersion));
+  if (h.version != kArtctVersion && h.version != kArtctVersionV1) {
+    return fail(StrFormat("unsupported ARTCT version %u (reader speaks %u-%u)",
+                          h.version, kArtctVersionV1, kArtctVersion));
   }
   if (h.header_crc != HeaderCrc(h)) {
     return fail("header CRC mismatch (truncated or corrupt file)");
   }
   const uint64_t events_end =
-      sizeof(ArtctHeader) + h.event_count * sizeof(BinaryEvent);
+      sizeof(ArtctHeader) + h.event_count * r->record_bytes();
   const uint64_t index_end =
       h.chunk_index_off + static_cast<uint64_t>(h.chunk_count) * sizeof(ArtctChunk);
   if (events_end > h.chunk_index_off || index_end > h.strtab_off ||
@@ -249,7 +251,7 @@ std::unique_ptr<ArtctReader> ArtctReader::Open(const std::string& path,
   for (uint32_t i = 0; i < h.chunk_count; ++i) {
     const ArtctChunk& c = r->index_[i];
     const uint64_t chunk_end =
-        c.file_off + static_cast<uint64_t>(c.count) * sizeof(BinaryEvent);
+        c.file_off + static_cast<uint64_t>(c.count) * r->record_bytes();
     if (c.file_off < sizeof(ArtctHeader) || chunk_end > h.chunk_index_off ||
         c.first_event != next_event) {
       return fail(StrFormat("chunk %u index entry out of bounds", i));
@@ -291,7 +293,7 @@ bool ArtctReader::DecodeChunkInto(uint32_t i, TraceEvent* dst,
   }
   const ArtctChunk& c = index_[i];
   const unsigned char* base = map_ + c.file_off;
-  const size_t bytes = static_cast<size_t>(c.count) * sizeof(BinaryEvent);
+  const size_t bytes = static_cast<size_t>(c.count) * record_bytes();
   if (util::Crc32(base, bytes) != c.crc) {
     if (error != nullptr) {
       *error = StrFormat(
@@ -300,9 +302,9 @@ bool ArtctReader::DecodeChunkInto(uint32_t i, TraceEvent* dst,
     }
     return false;
   }
-  const BinaryEvent* recs = reinterpret_cast<const BinaryEvent*>(base);
-  for (uint32_t j = 0; j < c.count; ++j) {
-    const BinaryEvent& b = recs[j];
+  // Both record layouts convert through the same field copy; only the
+  // current layout carries sync_id (v1 records decode with sync_id = 0).
+  auto convert = [&](const auto& b, uint32_t j) -> bool {
     if (b.call >= static_cast<uint16_t>(Sys::kCount) ||
         b.path_id >= str_count_ || b.path2_id >= str_count_ ||
         b.name_id >= str_count_) {
@@ -331,6 +333,27 @@ bool ArtctReader::DecodeChunkInto(uint32_t i, TraceEvent* dst,
     ev.whence = b.whence;
     ev.name.assign(StringAt(b.name_id));
     ev.aio_id = b.aio_id;
+    if constexpr (std::is_same_v<std::decay_t<decltype(b)>, BinaryEvent>) {
+      ev.sync_id = b.sync_id;
+    } else {
+      ev.sync_id = 0;
+    }
+    return true;
+  };
+  if (header_.version == kArtctVersionV1) {
+    const BinaryEventV1* recs = reinterpret_cast<const BinaryEventV1*>(base);
+    for (uint32_t j = 0; j < c.count; ++j) {
+      if (!convert(recs[j], j)) {
+        return false;
+      }
+    }
+  } else {
+    const BinaryEvent* recs = reinterpret_cast<const BinaryEvent*>(base);
+    for (uint32_t j = 0; j < c.count; ++j) {
+      if (!convert(recs[j], j)) {
+        return false;
+      }
+    }
   }
   return true;
 }
@@ -363,7 +386,7 @@ void ArtctReader::ReleaseChunkPages(uint32_t first, uint32_t count) const {
   const ArtctChunk& tail = index_[first + count - 1];
   const uint64_t begin = head.file_off;
   const uint64_t end =
-      tail.file_off + static_cast<uint64_t>(tail.count) * sizeof(BinaryEvent);
+      tail.file_off + static_cast<uint64_t>(tail.count) * record_bytes();
   // Advise whole pages strictly inside [begin, end): neighbours may share
   // the boundary pages with the header/index sections or an unread chunk.
   const uint64_t page = static_cast<uint64_t>(sysconf(_SC_PAGESIZE));

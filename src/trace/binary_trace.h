@@ -21,9 +21,10 @@
 // The snapshot rides along in its existing text form — it is tiny next to
 // the events, and reusing the text codec keeps one source of truth.
 //
-// Versioning: readers accept exactly kArtctVersion and reject anything
-// else loudly; the magic distinguishes ARTCT from text traces so tools can
-// sniff (`SniffArtctFile`) and route.
+// Versioning: writers emit kArtctVersion; readers accept the current
+// version plus v1 (pre-sync records without the sync_id field, decoded with
+// sync_id = 0) and reject anything else loudly. The magic distinguishes
+// ARTCT from text traces so tools can sniff (`SniffArtctFile`) and route.
 #ifndef SRC_TRACE_BINARY_TRACE_H_
 #define SRC_TRACE_BINARY_TRACE_H_
 
@@ -41,7 +42,8 @@
 namespace artc::trace {
 
 inline constexpr char kArtctMagic[6] = {'A', 'R', 'T', 'C', 'T', '\0'};
-inline constexpr uint16_t kArtctVersion = 1;
+inline constexpr uint16_t kArtctVersion = 2;
+inline constexpr uint16_t kArtctVersionV1 = 1;  // oldest readable version
 
 // Events per chunk. 64Ki records is ~5.5 MB of event payload: large enough
 // that per-chunk overhead (CRC, index entry, task dispatch) vanishes, small
@@ -73,6 +75,7 @@ struct BinaryEvent {
   int64_t offset;
   uint64_t size;
   uint64_t aio_id;
+  uint64_t sync_id;  // v2: sync-object identity (0 for non-sync calls)
   uint32_t tid;
   uint32_t path_id;
   uint32_t path2_id;
@@ -85,7 +88,29 @@ struct BinaryEvent {
   uint16_t call;
   uint16_t pad;
 };
-static_assert(sizeof(BinaryEvent) == 88, "record must stay fixed-width");
+static_assert(sizeof(BinaryEvent) == 96, "record must stay fixed-width");
+
+// The v1 record layout (no sync_id), kept so v1 files stay readable.
+struct BinaryEventV1 {
+  int64_t enter;
+  int64_t ret_time;
+  int64_t ret;
+  int64_t offset;
+  uint64_t size;
+  uint64_t aio_id;
+  uint32_t tid;
+  uint32_t path_id;
+  uint32_t path2_id;
+  uint32_t name_id;
+  int32_t fd;
+  int32_t fd2;
+  uint32_t flags;
+  uint32_t mode;
+  int32_t whence;
+  uint16_t call;
+  uint16_t pad;
+};
+static_assert(sizeof(BinaryEventV1) == 88, "v1 record layout is frozen");
 
 struct ArtctChunk {
   uint64_t file_off;     // absolute offset of the chunk's first record
@@ -149,6 +174,12 @@ class ArtctReader {
   uint64_t event_count() const { return header_.event_count; }
   uint32_t chunk_count() const { return header_.chunk_count; }
   uint32_t chunk_events() const { return header_.chunk_events; }
+  uint16_t version() const { return header_.version; }
+  // On-disk record width for this file's version (v1 predates sync_id).
+  size_t record_bytes() const {
+    return header_.version == kArtctVersionV1 ? sizeof(BinaryEventV1)
+                                              : sizeof(BinaryEvent);
+  }
   const ArtctChunk& chunk(uint32_t i) const { return index_[i]; }
   const FsSnapshot& snapshot() const { return snapshot_; }
 

@@ -110,6 +110,9 @@ std::string FormatEvent(const TraceEvent& ev) {
   if (ev.aio_id != 0) {
     line += StrFormat(" aio=%llu", static_cast<unsigned long long>(ev.aio_id));
   }
+  if (ev.sync_id != 0) {
+    line += StrFormat(" sync=%llu", static_cast<unsigned long long>(ev.sync_id));
+  }
   return line;
 }
 

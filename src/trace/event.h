@@ -57,6 +57,8 @@ struct TraceEvent {
   int32_t whence = 0;     // lseek whence
   std::string name;       // xattr name
   uint64_t aio_id = 0;    // identity of the aiocb for aio_* calls
+  uint64_t sync_id = 0;   // identity of the sync object for sync calls;
+                          // for thread_join, the joined thread's id
 
   TimeNs Duration() const { return ret_time - enter; }
   bool Failed() const { return ret < 0; }

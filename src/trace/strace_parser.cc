@@ -287,7 +287,11 @@ bool ParseStraceLine(std::string_view line, TraceEvent* out, std::string* error)
   if (canonical == "pread" || canonical == "pwrite") {
     // Linux names them pread64/pwrite64; already normalized above.
   }
-  Sys call = SysFromName(canonical);
+  // futex has no 1:1 Sys entry: FUTEX_WAIT maps to a condvar-style wait on
+  // the futex word and FUTEX_WAKE to signal/broadcast (resolved after the
+  // arguments are parsed, below).
+  const bool is_futex = canonical == "futex";
+  Sys call = is_futex ? Sys::kCondWait : SysFromName(canonical);
   if (call == Sys::kCount) {
     return fail("unknown call");
   }
@@ -372,6 +376,31 @@ bool ParseStraceLine(std::string_view line, TraceEvent* out, std::string* error)
     }
     return v;
   };
+
+  if (is_futex) {
+    // futex(addr, op, val, ...). The futex word's address identifies the
+    // sync object. WAIT that returned an error (EAGAIN: value changed
+    // before sleeping) never blocked, so it carries no ordering and is
+    // skipped like any other uninteresting line.
+    const std::string op = args.size() > 1 ? args[1].text : std::string();
+    if (op.find("FUTEX_WAIT") != std::string::npos) {
+      if (ret != 0) {
+        *error = "";
+        return false;
+      }
+      ev.call = Sys::kCondWait;
+    } else if (op.find("FUTEX_WAKE") != std::string::npos) {
+      // val is the max waiters to wake; INT_MAX (or any >1) is a broadcast.
+      ev.call = num_arg(2) > 1 ? Sys::kCondBroadcast : Sys::kCondSignal;
+      ev.ret = 0;  // waiter count is host-specific, not replayed
+    } else {
+      *error = "";  // REQUEUE / PI variants: no modelled ordering
+      return false;
+    }
+    ev.sync_id = static_cast<uint64_t>(num_arg(0));
+    *out = ev;
+    return true;
+  }
 
   switch (call) {
     case Sys::kOpen:
@@ -544,6 +573,21 @@ bool ParseStraceLine(std::string_view line, TraceEvent* out, std::string* error)
       ev.fd = FdArg(args, 4);
       ev.size = static_cast<uint64_t>(num_arg(1));
       ev.offset = num_arg(5);
+      break;
+    case Sys::kMutexLock:
+    case Sys::kMutexUnlock:
+    case Sys::kBarrierWait:
+    case Sys::kCondWait:
+    case Sys::kCondSignal:
+    case Sys::kCondBroadcast:
+    case Sys::kThreadJoin:
+      // Synthetic strace-style sync lines: first arg is the object (or
+      // joined thread) id.
+      ev.sync_id = static_cast<uint64_t>(num_arg(0));
+      break;
+    case Sys::kBarrierInit:
+      ev.sync_id = static_cast<uint64_t>(num_arg(0));
+      ev.size = static_cast<uint64_t>(num_arg(1));  // participant count
       break;
     default:
       // Calls with no replay-relevant arguments.

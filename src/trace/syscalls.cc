@@ -122,6 +122,14 @@ constexpr std::array<SysInfo, kSysCount> BuildTable() {
   set(Sys::kOsxUndoc1, "osx_undoc1", SysCategory::kStatFamily, true);
   set(Sys::kOsxUndoc2, "osx_undoc2", SysCategory::kStatFamily, true);
   set(Sys::kOsxUndoc3, "osx_undoc3", SysCategory::kStatFamily, true);
+  set(Sys::kMutexLock, "mutex_lock", SysCategory::kSync);
+  set(Sys::kMutexUnlock, "mutex_unlock", SysCategory::kSync);
+  set(Sys::kBarrierInit, "barrier_init", SysCategory::kSync);
+  set(Sys::kBarrierWait, "barrier_wait", SysCategory::kSync);
+  set(Sys::kCondWait, "cond_wait", SysCategory::kSync);
+  set(Sys::kCondSignal, "cond_signal", SysCategory::kSync);
+  set(Sys::kCondBroadcast, "cond_broadcast", SysCategory::kSync);
+  set(Sys::kThreadJoin, "thread_join", SysCategory::kSync);
   return t;
 }
 
@@ -180,6 +188,8 @@ std::string_view CategoryName(SysCategory c) {
       return "hint";
     case SysCategory::kAio:
       return "aio";
+    case SysCategory::kSync:
+      return "sync";
     case SysCategory::kOther:
       return "other";
   }

@@ -130,6 +130,21 @@ enum class Sys : uint16_t {
   kOsxUndoc1,           // undocumented metadata-related calls observed in
   kOsxUndoc2,           //   the iBench traces; emulated with small metadata
   kOsxUndoc3,           //   accesses
+  // -- synchronization primitives (SynchroTrace-style taxonomy) --
+  // Blocking calls are recorded at *grant* time: `enter` is the instant the
+  // primitive was granted (lock acquired, condvar wakeup, join target
+  // exited), not the instant the thread started waiting, so trace order is
+  // consistent with the happens-before order the annotator infers. The one
+  // exception is barrier_wait, whose `enter` is the arrival — the arrival
+  // order defines the phase's membership and its releasing (pivot) event.
+  kMutexLock,
+  kMutexUnlock,
+  kBarrierInit,         // participant count in `size`
+  kBarrierWait,
+  kCondWait,
+  kCondSignal,
+  kCondBroadcast,
+  kThreadJoin,          // joined thread id in `sync_id`
   kCount,               // sentinel
 };
 
@@ -148,6 +163,7 @@ enum class SysCategory : uint8_t {
   kNamespaceMeta,  // rename/link/unlink/mkdir/...
   kHint,
   kAio,
+  kSync,  // mutex/barrier/condvar/join
   kOther,
 };
 

@@ -166,6 +166,8 @@ bool ParseEventLine(std::string_view line, TraceEvent* out, std::string* error) 
       ev.name = value;
     } else if (key == "aio") {
       ev.aio_id = static_cast<uint64_t>(num);
+    } else if (key == "sync") {
+      ev.sync_id = static_cast<uint64_t>(num);
     } else {
       // Unknown keys are skipped for forward compatibility.
     }

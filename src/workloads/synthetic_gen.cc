@@ -67,6 +67,9 @@ class ThreadGen {
       case SynthScenario::kMailSpool:
         Delivery();
         break;
+      case SynthScenario::kLockServer:
+        ARTC_CHECK_MSG(false, "lockserver uses its own phase driver");
+        break;
     }
     ARTC_CHECK(!buf_.empty());
   }
@@ -242,6 +245,170 @@ class ThreadGen {
   size_t pos_ = 0;
 };
 
+// -- lockserver: a contended mutex pool + barrier phases, emitted with
+// first-class sync events. The lazy per-thread merge above cannot model
+// cross-thread blocking, so this scenario generates phase by phase: every
+// worker's requests for one phase are produced round-robin against shared
+// per-mutex grant clocks (grant = max(request, previous unlock + 1), i.e.
+// FIFO in request order with critical sections that never overlap), the
+// phase's events are k-way merged and streamed, and a barrier arrival per
+// worker closes the phase — the release instant (max arrival + 1) restarts
+// every clock, so the merged stream stays globally nondecreasing. Memory is
+// O(threads * phase length), independent of total trace length.
+
+// Shards in the locked pool: intentionally far fewer than opt.files so the
+// locks are actually contended.
+uint32_t LockServerShards(const SynthOptions& opt) {
+  return std::max(1u, std::min(opt.files, 8u));
+}
+
+constexpr uint64_t kLockSyncBase = 0x10000;   // mutex m = base + m
+constexpr uint64_t kLockBarrierId = 0x20000;
+constexpr uint64_t kShardBytes = 1ull << 20;
+
+uint64_t GenerateLockServer(
+    const SynthOptions& opt,
+    const std::function<void(const trace::TraceEvent&)>& sink) {
+  const uint32_t shards = LockServerShards(opt);
+  const uint32_t reqs_per_phase = 32;
+
+  struct Worker {
+    Rng rng;
+    TimeNs clock;
+    int32_t fd_base;
+    uint32_t tid;
+    bool log_open = false;
+    std::vector<int32_t> shard_fd;     // lazily opened, worker-private
+    std::vector<TraceEvent> buf;       // this phase's events, local order
+  };
+  std::vector<Worker> ws(opt.threads);
+  for (uint32_t w = 0; w < opt.threads; ++w) {
+    ws[w].rng = Rng{opt.seed * 0x9e3779b97f4a7c15ull + w * 2654435761ull + 7};
+    ws[w].clock = 1000 + w * 137;
+    ws[w].fd_base = 10 + static_cast<int32_t>(w) * 128;
+    ws[w].tid = 1000 + w;
+    ws[w].shard_fd.assign(shards, -1);
+  }
+  std::vector<TimeNs> free_at(shards, 0);
+
+  uint64_t emitted = 0;
+  auto deliver = [&](TraceEvent ev) {
+    ev.index = emitted++;
+    sink(ev);
+  };
+
+  // The init event opens barrier generation 0; everything else follows it.
+  {
+    TraceEvent init;
+    init.tid = 999;  // the accept loop / main thread
+    init.call = Sys::kBarrierInit;
+    init.enter = 10;
+    init.ret_time = 10;
+    init.sync_id = kLockBarrierId;
+    init.size = opt.threads;
+    deliver(init);
+    if (emitted >= opt.events) {
+      return emitted;
+    }
+  }
+
+  auto emit = [](Worker& w, Sys call, TimeNs enter, TimeNs dur) -> TraceEvent& {
+    TraceEvent ev;
+    ev.tid = w.tid;
+    ev.call = call;
+    ev.enter = enter;
+    ev.ret_time = enter + dur;
+    w.clock = ev.ret_time;
+    w.buf.push_back(ev);
+    return w.buf.back();
+  };
+
+  auto one_request = [&](Worker& w) {
+    if (!w.log_open) {
+      w.log_open = true;
+      TraceEvent& open = emit(w, Sys::kOpen, w.clock + 200, 2500);
+      open.path = StrFormat("/logs/lock_%u.log", w.tid - 1000);
+      open.flags = trace::kOpenWrite | trace::kOpenCreate | trace::kOpenAppend;
+      open.mode = 0644;
+      open.ret = w.fd_base + 127;
+    }
+    const uint32_t m = static_cast<uint32_t>(w.rng.Below(shards));
+    if (w.shard_fd[m] < 0) {
+      TraceEvent& open = emit(w, Sys::kOpen, w.clock + 150, 2000);
+      open.path = StrFormat("/data/shard_%u.dat", m);
+      open.flags = trace::kOpenRead | trace::kOpenWrite;
+      open.ret = w.fd_base + static_cast<int32_t>(m);
+      w.shard_fd[m] = static_cast<int32_t>(open.ret);
+    }
+    // Request instant -> FIFO grant against the shard's last unlock.
+    const TimeNs request = w.clock + 100 + static_cast<TimeNs>(w.rng.Below(600));
+    const TimeNs grant = std::max(request, free_at[m] + 1);
+    TraceEvent& lock = emit(w, Sys::kMutexLock, grant, 0);
+    lock.sync_id = kLockSyncBase + m;
+    const uint64_t rn = 4096;
+    TraceEvent& pread = emit(w, Sys::kPRead, w.clock + 300, 2500 + rn / 8);
+    pread.fd = w.shard_fd[m];
+    pread.offset = static_cast<int64_t>(w.rng.Below(kShardBytes - rn));
+    pread.size = rn;
+    pread.ret = static_cast<int64_t>(rn);
+    const uint64_t wn = 1024;
+    TraceEvent& pwrite = emit(w, Sys::kPWrite, w.clock + 200, 2800 + wn / 8);
+    pwrite.fd = w.shard_fd[m];
+    pwrite.offset = static_cast<int64_t>(w.rng.Below(kShardBytes - wn));
+    pwrite.size = wn;
+    pwrite.ret = static_cast<int64_t>(wn);
+    TraceEvent& unlock = emit(w, Sys::kMutexUnlock, w.clock + 100, 0);
+    unlock.sync_id = kLockSyncBase + m;
+    free_at[m] = unlock.enter;
+    if (w.rng.Below(4) == 0) {
+      const uint64_t line = 40 + w.rng.Below(80);
+      TraceEvent& log = emit(w, Sys::kWrite, w.clock + 250, 1200);
+      log.fd = w.fd_base + 127;
+      log.size = line;
+      log.ret = static_cast<int64_t>(line);
+    }
+  };
+
+  while (emitted < opt.events) {
+    // Round-robin by request so grants interleave the way a shared lock
+    // server actually admits clients.
+    for (uint32_t r = 0; r < reqs_per_phase; ++r) {
+      for (Worker& w : ws) {
+        one_request(w);
+      }
+    }
+    TimeNs release = 0;
+    for (Worker& w : ws) {
+      const TimeNs arrival = w.clock + 50 + static_cast<TimeNs>(w.rng.Below(400));
+      TraceEvent& wait = emit(w, Sys::kBarrierWait, arrival, 0);
+      wait.sync_id = kLockBarrierId;
+      release = std::max(release, arrival);
+    }
+    release += 1;
+
+    // Merge this phase's per-worker streams into global enter order.
+    using Head = std::pair<TimeNs, uint32_t>;
+    std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+    std::vector<size_t> pos(ws.size(), 0);
+    for (uint32_t w = 0; w < ws.size(); ++w) {
+      heap.push({ws[w].buf[0].enter, w});
+    }
+    while (!heap.empty() && emitted < opt.events) {
+      const uint32_t w = heap.top().second;
+      heap.pop();
+      deliver(ws[w].buf[pos[w]++]);
+      if (pos[w] < ws[w].buf.size()) {
+        heap.push({ws[w].buf[pos[w]].enter, w});
+      }
+    }
+    for (Worker& w : ws) {
+      w.buf.clear();
+      w.clock = release;
+    }
+  }
+  return emitted;
+}
+
 }  // namespace
 
 const char* SynthScenarioName(SynthScenario s) {
@@ -252,6 +419,8 @@ const char* SynthScenarioName(SynthScenario s) {
       return "build";
     case SynthScenario::kMailSpool:
       return "mailspool";
+    case SynthScenario::kLockServer:
+      return "lockserver";
   }
   return "?";
 }
@@ -259,7 +428,8 @@ const char* SynthScenarioName(SynthScenario s) {
 bool SynthScenarioFromName(const std::string& name, SynthScenario* out) {
   for (SynthScenario s : {SynthScenario::kWebServer,
                           SynthScenario::kParallelBuild,
-                          SynthScenario::kMailSpool}) {
+                          SynthScenario::kMailSpool,
+                          SynthScenario::kLockServer}) {
     if (name == SynthScenarioName(s)) {
       *out = s;
       return true;
@@ -301,6 +471,13 @@ trace::FsSnapshot SynthSnapshot(const SynthOptions& opt) {
         snap.AddDir(StrFormat("/spool/w%u/new", w));
       }
       break;
+    case SynthScenario::kLockServer:
+      snap.AddDir("/data");
+      snap.AddDir("/logs");
+      for (uint32_t m = 0; m < LockServerShards(opt); ++m) {
+        snap.AddFile(StrFormat("/data/shard_%u.dat", m), kShardBytes);
+      }
+      break;
   }
   snap.Canonicalize();
   return snap;
@@ -310,6 +487,11 @@ uint64_t GenerateSynthetic(
     const SynthOptions& opt,
     const std::function<void(const trace::TraceEvent&)>& sink) {
   ARTC_CHECK_MSG(opt.threads > 0, "synthetic trace needs at least one thread");
+  if (opt.scenario == SynthScenario::kLockServer) {
+    // Sync events need cross-thread grant/release coordination the lazy
+    // per-thread merge can't express; the lockserver has its own driver.
+    return GenerateLockServer(opt, sink);
+  }
   std::vector<ThreadGen> gens;
   gens.reserve(opt.threads);
   for (uint32_t w = 0; w < opt.threads; ++w) {

@@ -31,6 +31,8 @@ enum class SynthScenario {
   kWebServer,      // workers serve docs from a shared corpus, append logs
   kParallelBuild,  // workers compile shared sources into private objects
   kMailSpool,      // workers deliver via tmp-write/fsync/rename (maildir)
+  kLockServer,     // workers fight over a mutex-guarded shard pool and
+                   // rendezvous at a barrier between phases (sync events)
 };
 
 const char* SynthScenarioName(SynthScenario s);

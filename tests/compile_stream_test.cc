@@ -123,6 +123,22 @@ TEST(CompileStream, MatchesBatchOnFuzzTraces) {
   }
 }
 
+// Sync traces route through the annotator's SyncObjectModel (mutex
+// generations, barrier fan-in/out, cond tokens, join edges) — the streaming
+// compiler must reproduce the batch output for those rules bit-exactly too.
+TEST(CompileStream, MatchesBatchOnSyncTraces) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    check::GenOptions gen;
+    gen.seed = 7100 + seed;
+    gen.threads = 2 + seed % 4;
+    gen.ops_per_thread = 40;
+    gen.sync = true;
+    trace::TraceBundle b = check::GenerateTrace(gen);
+    ExpectStreamMatchesBatch(b.trace, b.snapshot, /*prune=*/true);
+    ExpectStreamMatchesBatch(b.trace, b.snapshot, /*prune=*/false);
+  }
+}
+
 TEST(CompileStream, EmptyTrace) {
   trace::Trace t;
   trace::FsSnapshot snap;
@@ -157,6 +173,43 @@ TEST(CompileStream, FileDriverDigestStableAcrossWindowSizes) {
       EXPECT_EQ(res.digest, want) << path << " window=" << window;
       EXPECT_EQ(res.events, b.trace.events.size());
       EXPECT_GT(res.peak_state_bytes, 0u);
+    }
+  }
+  std::remove(txt.c_str());
+  std::remove(bin.c_str());
+}
+
+// Same file-driver invariance for a sync-heavy trace: the text round trip
+// carries sync= keys and the ARTCT round trip the v2 sync_id field, and
+// every window size must land on the batch digest.
+TEST(CompileStream, FileDriverSyncTraceDigestStable) {
+  check::GenOptions gen;
+  gen.seed = 7200;
+  gen.threads = 4;
+  gen.ops_per_thread = 40;
+  gen.sync = true;
+  trace::TraceBundle b = check::GenerateTrace(gen);
+  CompiledBenchmark batch = core::Compile(b.trace, b.snapshot, {});
+  const uint64_t want = core::DigestBenchmark(batch);
+
+  const std::string txt = TempPath("cstream_sync.trace");
+  trace::WriteTraceBundleFile(b, txt);
+  const std::string bin = TempPath("cstream_sync.artct");
+  std::string error;
+  ASSERT_TRUE(trace::WriteArtctFile(bin, b.trace, b.snapshot, &error,
+                                    /*chunk_events=*/32));
+
+  for (const std::string& path : {txt, bin}) {
+    for (uint64_t window : {1ull, 64ull}) {
+      trace::StreamReaderOptions ropts;
+      ropts.window_events = window;
+      core::CompileStreamFileResult res;
+      trace::ParseDiag diag;
+      ASSERT_TRUE(core::CompileStreamFile(path, ropts, {}, &res, nullptr,
+                                          &diag))
+          << diag.Format();
+      EXPECT_EQ(res.digest, want) << path << " window=" << window;
+      EXPECT_EQ(res.events, b.trace.events.size());
     }
   }
   std::remove(txt.c_str());

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/generator.h"
 #include "src/core/artc.h"
 #include "src/obs/critpath.h"
 #include "src/sim/schedule.h"
@@ -177,6 +178,56 @@ TEST(SimBackendParity, ReplayReportsIdenticalAcrossBackends) {
     ExpectIdenticalReplays(fibers, threads, schedule);
     ExpectIdenticalReplays(fibers, parallel, schedule);
     EXPECT_GT(fibers.sim_switches, 0u);
+  }
+}
+
+// Sync-heavy traces — mutex handoffs, barrier phases, condvar wakeups and
+// thread joins, compiled into mutex/barrier/cond/join completion deps —
+// replay blocked waits as ordinary dep stalls, so their reports must be
+// just as bit-identical across backends as plain fs traces.
+TEST(SimBackendParity, SyncTraceReplayIdenticalAcrossBackends) {
+  check::GenOptions gen;
+  gen.seed = 4242;
+  gen.threads = 4;
+  gen.ops_per_thread = 24;
+  gen.sync = true;
+  trace::TraceBundle bundle = check::GenerateTrace(gen);
+  uint64_t sync_events = 0;
+  for (const trace::TraceEvent& ev : bundle.trace.events) {
+    switch (ev.call) {
+      case trace::Sys::kMutexLock:
+      case trace::Sys::kMutexUnlock:
+      case trace::Sys::kBarrierInit:
+      case trace::Sys::kBarrierWait:
+      case trace::Sys::kCondWait:
+      case trace::Sys::kCondSignal:
+      case trace::Sys::kCondBroadcast:
+      case trace::Sys::kThreadJoin:
+        sync_events++;
+        break;
+      default:
+        break;
+    }
+  }
+  ASSERT_GT(sync_events, 20u) << "generator produced no sync workload";
+  core::CompiledBenchmark bench = core::Compile(bundle.trace, bundle.snapshot, {});
+
+  sim::ScheduleSpec random_spec;
+  random_spec.kind = sim::ScheduleKind::kRandom;
+  random_spec.seed = 31;
+  for (const sim::ScheduleSpec& spec : {sim::ScheduleSpec{}, random_spec}) {
+    const std::string schedule_name = spec.ToString();
+    SimTarget target;
+    target.seed = 777;
+    target.schedule = spec;
+    target.sim_backend = SimBackend::kFibers;
+    SimReplayResult fibers = core::ReplayCompiledOnSimTarget(bench, target);
+    target.sim_backend = SimBackend::kThreads;
+    SimReplayResult threads = core::ReplayCompiledOnSimTarget(bench, target);
+    target.sim_backend = SimBackend::kParallel;
+    SimReplayResult parallel = core::ReplayCompiledOnSimTarget(bench, target);
+    ExpectIdenticalReplays(fibers, threads, schedule_name.c_str());
+    ExpectIdenticalReplays(fibers, parallel, schedule_name.c_str());
   }
 }
 

@@ -6,6 +6,7 @@
 // against the generated snapshot with zero model warnings), and faithful
 // through the constant-memory ARTCT path.
 #include <cstdio>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -31,7 +32,24 @@ SynthOptions SmallOpts(SynthScenario s) {
 
 const SynthScenario kAll[] = {SynthScenario::kWebServer,
                               SynthScenario::kParallelBuild,
-                              SynthScenario::kMailSpool};
+                              SynthScenario::kMailSpool,
+                              SynthScenario::kLockServer};
+
+bool IsSyncEvent(const trace::TraceEvent& ev) {
+  switch (ev.call) {
+    case trace::Sys::kMutexLock:
+    case trace::Sys::kMutexUnlock:
+    case trace::Sys::kBarrierInit:
+    case trace::Sys::kBarrierWait:
+    case trace::Sys::kCondWait:
+    case trace::Sys::kCondSignal:
+    case trace::Sys::kCondBroadcast:
+    case trace::Sys::kThreadJoin:
+      return true;
+    default:
+      return false;
+  }
+}
 
 TEST(SyntheticGen, DeterministicForSameOptions) {
   for (SynthScenario s : kAll) {
@@ -61,7 +79,13 @@ TEST(SyntheticGen, WellFormedAndAnnotatesWarningFree) {
       ASSERT_EQ(ev.index, i) << SynthScenarioName(s);
       ASSERT_GE(ev.enter, last_enter)
           << SynthScenarioName(s) << " event " << i;
-      ASSERT_GT(ev.ret_time, ev.enter) << SynthScenarioName(s);
+      // Sync events are recorded at their grant instant with zero-width
+      // windows; everything else must have a real duration.
+      if (IsSyncEvent(ev)) {
+        ASSERT_GE(ev.ret_time, ev.enter) << SynthScenarioName(s);
+      } else {
+        ASSERT_GT(ev.ret_time, ev.enter) << SynthScenarioName(s);
+      }
       last_enter = ev.enter;
     }
     fsmodel::AnnotateOptions aopt;
@@ -73,20 +97,69 @@ TEST(SyntheticGen, WellFormedAndAnnotatesWarningFree) {
 }
 
 TEST(SyntheticGen, ArtctPathMatchesInMemoryBundle) {
-  const std::string path = testing::TempDir() + "synth_gen_roundtrip.artct";
-  SynthOptions opt = SmallOpts(SynthScenario::kMailSpool);
-  std::string error;
-  ASSERT_TRUE(GenerateSyntheticArtct(opt, path, &error)) << error;
-  trace::ParallelReadResult res;
-  trace::ParseDiag diag;
-  ASSERT_TRUE(trace::ParallelReadTraceFile(path, {}, &res, &diag))
-      << diag.Format();
-  trace::TraceBundle want = GenerateSyntheticBundle(opt);
-  std::ostringstream got_text, want_text;
-  trace::WriteTraceBundle(res.bundle, got_text);
-  trace::WriteTraceBundle(want, want_text);
-  EXPECT_EQ(got_text.str(), want_text.str());
-  std::remove(path.c_str());
+  // Mailspool covers the fs-op record layout; lockserver the v2 sync_id
+  // field carried by mutex/barrier events.
+  for (SynthScenario s :
+       {SynthScenario::kMailSpool, SynthScenario::kLockServer}) {
+    const std::string path = testing::TempDir() + "synth_gen_roundtrip.artct";
+    SynthOptions opt = SmallOpts(s);
+    std::string error;
+    ASSERT_TRUE(GenerateSyntheticArtct(opt, path, &error)) << error;
+    trace::ParallelReadResult res;
+    trace::ParseDiag diag;
+    ASSERT_TRUE(trace::ParallelReadTraceFile(path, {}, &res, &diag))
+        << diag.Format();
+    trace::TraceBundle want = GenerateSyntheticBundle(opt);
+    std::ostringstream got_text, want_text;
+    trace::WriteTraceBundle(res.bundle, got_text);
+    trace::WriteTraceBundle(want, want_text);
+    EXPECT_EQ(got_text.str(), want_text.str()) << SynthScenarioName(s);
+    std::remove(path.c_str());
+  }
+}
+
+// The lockserver is the sync-event scenario: its mutex critical sections
+// must never overlap (unlock before the next lock of the same shard, in
+// trace order) and every barrier phase must see one arrival per worker.
+TEST(SyntheticGen, LockServerSyncShape) {
+  SynthOptions opt = SmallOpts(SynthScenario::kLockServer);
+  trace::TraceBundle bundle = GenerateSyntheticBundle(opt);
+
+  std::map<uint64_t, bool> locked;          // mutex sync_id -> held?
+  uint64_t locks = 0, unlocks = 0, arrivals = 0;
+  uint32_t barrier_count = 0;
+  for (const trace::TraceEvent& ev : bundle.trace.events) {
+    switch (ev.call) {
+      case trace::Sys::kBarrierInit:
+        barrier_count = static_cast<uint32_t>(ev.size);
+        break;
+      case trace::Sys::kMutexLock:
+        ASSERT_FALSE(locked[ev.sync_id])
+            << "overlapping critical sections at event " << ev.index;
+        locked[ev.sync_id] = true;
+        locks++;
+        break;
+      case trace::Sys::kMutexUnlock:
+        ASSERT_TRUE(locked[ev.sync_id])
+            << "unlock without lock at event " << ev.index;
+        locked[ev.sync_id] = false;
+        unlocks++;
+        break;
+      case trace::Sys::kBarrierWait:
+        arrivals++;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(barrier_count, opt.threads);
+  EXPECT_GT(locks, 1000u);
+  EXPECT_GE(locks, unlocks);
+  EXPECT_LE(locks - unlocks, locked.size());  // only trailing cut-off holds
+  // Completed phases rendezvous all workers; the budget cut may drop part
+  // of the final phase's arrivals.
+  EXPECT_GT(arrivals, 0u);
+  EXPECT_LE(arrivals % opt.threads, opt.threads - 1);
 }
 
 TEST(SyntheticGen, ScenarioNamesRoundTrip) {
