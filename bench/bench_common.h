@@ -3,13 +3,52 @@
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/core/artc.h"
+#include "src/obs/obs.h"
 #include "src/util/time.h"
 #include "src/workloads/workload.h"
 
 namespace artc::bench {
+
+// RAII observability session for a harness main(): consumes the
+// --metrics-port flag (both "--metrics-port=N" and "--metrics-port N"
+// spellings) from argv so downstream flag parsing never sees it, then opens
+// the usual env-wired obs session (ARTC_TRACE_OUT / ARTC_METRICS_OUT /
+// ARTC_TIMESERIES_OUT / ARTC_METRICS_PORT / ARTC_METRICS_ADDR). Every
+// bench/example main holds one of these instead of hand-rolling the
+// SessionOptions + ScopedObsSession + flag-scan boilerplate.
+class HarnessObsSession {
+ public:
+  HarnessObsSession(int& argc, char** argv)
+      : session_(ConsumeMetricsPort(argc, argv)) {}
+
+ private:
+  static obs::SessionOptions ConsumeMetricsPort(int& argc, char** argv) {
+    obs::SessionOptions opts;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--metrics-port=", 15) == 0) {
+        opts.metrics_port = std::atoi(arg + 15);
+        continue;
+      }
+      if (std::strcmp(arg, "--metrics-port") == 0 && i + 1 < argc) {
+        opts.metrics_port = std::atoi(argv[++i]);
+        continue;
+      }
+      argv[w++] = argv[i];
+    }
+    argc = w;
+    argv[argc] = nullptr;
+    return opts;
+  }
+
+  obs::ScopedObsSession session_;
+};
 
 // Percentage error of a replay time against the original program's time,
 // signed: positive = replay was slower (overestimated elapsed time).

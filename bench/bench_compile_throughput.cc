@@ -26,6 +26,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "bench/bench_common.h"
 #include "src/core/compile_stream.h"
 #include "src/core/compiler.h"
 #include "src/fsmodel/resource_model.h"
@@ -269,8 +270,6 @@ int Main(int argc, char** argv) {
 }  // namespace artc::bench
 
 int main(int argc, char** argv) {
-  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
-  // where trace.json / metrics.json land.
-  artc::obs::ScopedObsSession obs_session;
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   return artc::bench::Main(argc, argv);
 }

@@ -232,9 +232,6 @@ int Main(int argc, char** argv) {
 }  // namespace artc
 
 int main(int argc, char** argv) {
-  artc::obs::SessionOptions obs_opts;
-  obs_opts.metrics_port = static_cast<int>(artc::FlagValue(
-      argc, argv, "metrics-port", static_cast<uint64_t>(-1)));
-  artc::obs::ScopedObsSession obs_session(obs_opts);
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   return artc::Main(argc, argv);
 }

@@ -87,9 +87,9 @@ int Main() {
 
 }  // namespace artc
 
-int main() {
-  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
-  // where trace.json / metrics.json land.
-  artc::obs::ScopedObsSession obs_session;
+int main(int argc, char** argv) {
+  // Env wiring (ARTC_TRACE_OUT / ARTC_METRICS_OUT / ...) plus --metrics-port
+  // for a live endpoint; see bench::HarnessObsSession.
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   return artc::Main();
 }

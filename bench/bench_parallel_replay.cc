@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/obs/obs.h"
 #include "src/sim/simulation.h"
@@ -198,6 +199,6 @@ int Main(int argc, char** argv) {
 }  // namespace artc::bench
 
 int main(int argc, char** argv) {
-  artc::obs::ScopedObsSession obs_session;
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   return artc::bench::Main(argc, argv);
 }

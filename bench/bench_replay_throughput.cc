@@ -17,6 +17,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/obs/obs.h"
 #include "src/sim/simulation.h"
@@ -156,8 +157,6 @@ int Main(int argc, char** argv) {
 }  // namespace artc::bench
 
 int main(int argc, char** argv) {
-  // ARTC_TRACE_OUT / ARTC_METRICS_OUT turn on tracing for this run and pick
-  // where trace.json / metrics.json land.
-  artc::obs::ScopedObsSession obs_session;
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   return artc::bench::Main(argc, argv);
 }

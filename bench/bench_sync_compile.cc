@@ -15,6 +15,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/core/compiler.h"
 #include "src/obs/critpath.h"
@@ -111,6 +112,6 @@ int Main(int argc, char** argv) {
 }  // namespace artc::bench
 
 int main(int argc, char** argv) {
-  artc::obs::ScopedObsSession obs_session;
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   return artc::bench::Main(argc, argv);
 }

@@ -54,6 +54,15 @@ DETERMINISTIC_KEYS = (
     "sync_edges",
     "mutex_stall_ns",
     "barrier_stall_ns",
+    # bench_sweep: grid-wide virtual aggregates and the cross-jobs
+    # byte-identity verdict.
+    "cells",
+    "failed_cells",
+    "end_ns_sum",
+    "stall_ns_sum",
+    "exec_ns_sum",
+    "digest_xor",
+    "jobs_match",
 )
 
 THROUGHPUT_SUFFIX = "_per_sec"

@@ -25,6 +25,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/core/compile_stream.h"
 #include "src/core/serialize.h"
@@ -50,6 +51,7 @@ void Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   std::string trace_path;
   std::string snapshot_path;
   std::string replay_on;
@@ -61,7 +63,6 @@ int main(int argc, char** argv) {
   bool stream = false;
   bool print_digest = false;
   uint64_t window_events = 1 << 20;
-  artc::obs::SessionOptions obs_opts;
   artc::core::CompileOptions copt;
 
   for (int i = 1; i < argc; ++i) {
@@ -105,8 +106,6 @@ int main(int argc, char** argv) {
       window_events = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--digest") {
       print_digest = true;
-    } else if (arg == "--metrics-port") {
-      obs_opts.metrics_port = std::atoi(next().c_str());
     } else {
       Usage();
       return 2;
@@ -116,7 +115,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  artc::obs::ScopedObsSession obs_session(obs_opts);
 
   if (stream) {
     if (trace_path.empty() || strace_format) {

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/trace/binary_trace.h"
@@ -34,6 +35,7 @@ void Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   std::string in_path;
   std::string out_path;
   std::string to;
@@ -42,7 +44,6 @@ int main(int argc, char** argv) {
   bool skip_bad_lines = false;
   size_t jobs = 0;
   uint32_t chunk_events = artc::trace::kArtctDefaultChunkEvents;
-  artc::obs::SessionOptions obs_opts;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -70,8 +71,6 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoull(next().c_str(), nullptr, 10));
     } else if (arg == "--skip-bad-lines") {
       skip_bad_lines = true;
-    } else if (arg == "--metrics-port") {
-      obs_opts.metrics_port = std::atoi(next().c_str());
     } else {
       Usage();
       return 2;
@@ -81,7 +80,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  artc::obs::ScopedObsSession obs_session(obs_opts);
 
   artc::trace::TraceBundle bundle;
   bool input_binary = false;

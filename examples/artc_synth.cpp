@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/obs/log.h"
 #include "src/obs/obs.h"
 #include "src/trace/trace_io.h"
@@ -32,9 +33,9 @@ void Usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   std::string out_path;
   bool text = false;
-  artc::obs::SessionOptions obs_opts;
   artc::workloads::SynthOptions opt;
 
   for (int i = 1; i < argc; ++i) {
@@ -65,8 +66,6 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoull(next().c_str(), nullptr, 10));
     } else if (arg == "--text") {
       text = true;
-    } else if (arg == "--metrics-port") {
-      obs_opts.metrics_port = std::atoi(next().c_str());
     } else {
       Usage();
       return 2;
@@ -76,7 +75,6 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  artc::obs::ScopedObsSession obs_session(obs_opts);
 
   uint64_t n;
   if (text) {

@@ -14,6 +14,7 @@
 
 #include <sys/stat.h>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/core/posix_env.h"
 #include "src/trace/trace_io.h"
@@ -38,6 +39,7 @@ const char* kOsxTrace = R"(
 }  // namespace
 
 int main(int argc, char** argv) {
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   std::istringstream in(kOsxTrace);
   artc::trace::Trace t = artc::trace::ReadTrace(in);
   std::printf("loaded %zu-event OS X trace\n", t.events.size());

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/workloads/minikv.h"
 
@@ -19,6 +20,7 @@ using artc::workloads::SourceConfig;
 using artc::workloads::TracedRun;
 
 int main(int argc, char** argv) {
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   KvReadRandom::Options opt;
   opt.threads = 8;
   opt.gets_per_thread = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 500;

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/obs/obs.h"
 #include "src/trace/snapshot.h"
@@ -66,19 +67,7 @@ int main(int argc, char** argv) {
   // ARTC_TRACE_OUT=trace.json (optionally ARTC_METRICS_OUT=metrics.json)
   // records the replay for Perfetto / chrome://tracing; see README.
   // --metrics-port P (or ARTC_METRICS_PORT=P) serves live /metrics.
-  artc::obs::SessionOptions obs_opts;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-port") == 0) {
-      obs_opts.metrics_port = std::atoi(argv[i + 1]);
-      // Swallow the pair so workload selection below still sees argv[1].
-      for (int j = i; j + 2 < argc; ++j) {
-        argv[j] = argv[j + 2];
-      }
-      argc -= 2;
-      break;
-    }
-  }
-  artc::obs::ScopedObsSession obs_session(obs_opts);
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   const char* which = argc > 1 ? argv[1] : "iphoto_import";
   if (std::strcmp(which, "--export") == 0 && argc > 2) {
     // Release the suite: one .trace + .snap pair per workload, replayable

@@ -9,10 +9,14 @@
 #include <cstdio>
 #include <sstream>
 
+#include "bench/bench_common.h"
 #include "src/core/artc.h"
 #include "src/trace/strace_parser.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Telemetry (ARTC_TRACE_OUT / --metrics-port / ...) via the shared
+  // harness session; the quickstart runs fine with none of it set.
+  artc::bench::HarnessObsSession obs_session(argc, argv);
   // A tiny two-thread strace fragment: thread 101 creates and writes a file
   // that thread 102 reads after thread 101 renames it into place — the kind
   // of cross-thread dependency ROOT infers from resource usage.

@@ -49,29 +49,6 @@ std::string StringFlag(int argc, char** argv, const char* name, const char* def)
   return def;
 }
 
-// Parses the ScheduleSpec::ToString() forms: "default", "random:7", "pct:7/8".
-bool ParseScheduleSpec(const std::string& s, sim::ScheduleSpec* out) {
-  *out = sim::ScheduleSpec();
-  if (s == "default") {
-    return true;
-  }
-  if (s.rfind("random:", 0) == 0) {
-    out->kind = sim::ScheduleKind::kRandom;
-    out->seed = std::strtoull(s.c_str() + 7, nullptr, 10);
-    return true;
-  }
-  if (s.rfind("pct:", 0) == 0) {
-    out->kind = sim::ScheduleKind::kPct;
-    char* end = nullptr;
-    out->seed = std::strtoull(s.c_str() + 4, &end, 10);
-    if (end != nullptr && *end == '/') {
-      out->pct_change_points = static_cast<uint32_t>(std::strtoul(end + 1, nullptr, 10));
-    }
-    return true;
-  }
-  return false;
-}
-
 struct Totals {
   uint64_t traces = 0;
   uint64_t schedules = 0;
@@ -139,7 +116,7 @@ int Main(int argc, char** argv) {
   opt.target.jobs = FlagValue(argc, argv, "jobs", 0);
 
   sim::ScheduleSpec repro_spec;
-  if (!schedule.empty() && !ParseScheduleSpec(schedule, &repro_spec)) {
+  if (!schedule.empty() && !sim::ParseScheduleSpec(schedule, &repro_spec)) {
     obs::LogError("check_artc", "unparsable --schedule value",
                   {{"schedule", schedule}});
     return 2;

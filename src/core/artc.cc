@@ -9,7 +9,8 @@
 namespace artc::core {
 
 SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
-                                          const SimTarget& target) {
+                                          const SimTarget& target,
+                                          trace::FsSnapshot* final_state) {
   if (target.obs) {
     obs::Enable();
   }
@@ -36,11 +37,21 @@ SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
       stack.DropCaches();
     }
     result.report = Replay(bench, env, target.replay);
+    if (final_state != nullptr) {
+      // Pure tree walk: consumes no virtual time, so capture cannot perturb
+      // the replay results it rides along with.
+      *final_state = fs.CaptureSnapshot();
+    }
   });
   result.sim_end_time = sim.Run();
   result.sim_switches = sim.switch_count();
   result.storage = stack.Counters();
   return result;
+}
+
+SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
+                                          const SimTarget& target) {
+  return ReplayCompiledOnSimTarget(bench, target, nullptr);
 }
 
 MultiReplayResult ReplayConcurrentlyOnSimTarget(

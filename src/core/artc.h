@@ -70,7 +70,18 @@ SimReplayResult ReplayOnSimTarget(const trace::Trace& t,
                                   const CompileOptions& options, const SimTarget& target);
 
 // Convenience: replays a pre-compiled benchmark (used when comparing several
-// targets without recompiling).
+// targets without recompiling). `bench` is only read, so many host threads
+// may replay the same compiled artifact concurrently (each call builds its
+// own simulation/storage/vfs world) — the sharing contract behind
+// core::CompiledBenchmarkPtr that the sweep engine and artcd rely on.
+//
+// When `final_state` is non-null, the simulated file system is captured into
+// it right after the replay finishes (still inside the simulation, at zero
+// virtual cost), so callers can digest the end state without re-running.
+// Virtual results are bit-identical with capture on or off.
+SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
+                                          const SimTarget& target,
+                                          trace::FsSnapshot* final_state);
 SimReplayResult ReplayCompiledOnSimTarget(const CompiledBenchmark& bench,
                                           const SimTarget& target);
 

@@ -299,4 +299,18 @@ CompiledBenchmark Compile(trace::Trace&& t, const trace::FsSnapshot& snapshot,
   return CompileImpl(std::move(t.events), snapshot, annotated, options);
 }
 
+CompiledBenchmarkPtr CompileShared(const trace::Trace& t,
+                                   const trace::FsSnapshot& snapshot,
+                                   const CompileOptions& options) {
+  return std::make_shared<const CompiledBenchmark>(Compile(t, snapshot, options));
+}
+
+CompiledBenchmarkPtr CompileShared(const trace::Trace& t,
+                                   const trace::FsSnapshot& snapshot,
+                                   const fsmodel::AnnotatedTrace& annotated,
+                                   const CompileOptions& options) {
+  return std::make_shared<const CompiledBenchmark>(
+      Compile(t, snapshot, annotated, options));
+}
+
 }  // namespace artc::core

@@ -7,6 +7,8 @@
 #ifndef SRC_CORE_COMPILER_H_
 #define SRC_CORE_COMPILER_H_
 
+#include <memory>
+
 #include "src/core/compiled.h"
 #include "src/fsmodel/resource_model.h"
 #include "src/trace/event.h"
@@ -47,6 +49,26 @@ CompiledBenchmark Compile(trace::Trace&& t, const trace::FsSnapshot& snapshot,
 CompiledBenchmark Compile(trace::Trace&& t, const trace::FsSnapshot& snapshot,
                           const fsmodel::AnnotatedTrace& annotated,
                           const CompileOptions& options);
+
+// A compiled benchmark shared across concurrent consumers. CompiledBenchmark
+// is immutable once compiled and Replay() only ever reads it, so one
+// compiled artifact can back any number of simultaneous replays (sweep
+// cells, artcd sessions) without copies — the shared_ptr's control block is
+// the only synchronization. Everything reachable through the pointer is
+// const; a consumer that needs a variant (different method, ablated rules)
+// compiles its own.
+using CompiledBenchmarkPtr = std::shared_ptr<const CompiledBenchmark>;
+
+// Compile once, share everywhere. The overloads mirror Compile(); the
+// annotation-reuse form is how a sweep compiles one trace under several
+// replay methods while paying for a single annotation pass.
+CompiledBenchmarkPtr CompileShared(const trace::Trace& t,
+                                   const trace::FsSnapshot& snapshot,
+                                   const CompileOptions& options = {});
+CompiledBenchmarkPtr CompileShared(const trace::Trace& t,
+                                   const trace::FsSnapshot& snapshot,
+                                   const fsmodel::AnnotatedTrace& annotated,
+                                   const CompileOptions& options);
 
 }  // namespace artc::core
 

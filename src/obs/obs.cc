@@ -33,7 +33,13 @@ std::string& MetricsOutStorage() {
 struct Telemetry {
   std::unique_ptr<TimeSeriesSampler> sampler;
   std::unique_ptr<MetricsHttpServer> server;
-  bool started = false;
+  // Nesting depth of StartTelemetry/StopTelemetry pairs. The first Start
+  // configures and launches the exporters; only the matching outermost Stop
+  // tears them down (final sampler tick included). Without the count, an
+  // inner ScopedObsSession — a harness main wrapping library code that opens
+  // its own session, as artc_sweep's drill path does — would stop the outer
+  // session's exporters mid-run and close the timeseries sink early.
+  int sessions = 0;
 };
 
 std::mutex& TelemetryMu() {
@@ -119,10 +125,9 @@ void SyncDerivedMetrics() {
 void StartTelemetry(const SessionOptions& options) {
   std::lock_guard<std::mutex> lk(TelemetryMu());
   Telemetry& t = TelemetryState();
-  if (t.started) {
-    return;
+  if (t.sessions++ > 0) {
+    return;  // nested session: the first configuration stays live
   }
-  t.started = true;
 
   const int64_t env_port = EnvInt("ARTC_METRICS_PORT", -1);
   int64_t port = options.metrics_port >= 0
@@ -204,16 +209,20 @@ void StartTelemetry(const SessionOptions& options) {
 void StopTelemetry() {
   std::lock_guard<std::mutex> lk(TelemetryMu());
   Telemetry& t = TelemetryState();
+  if (t.sessions > 0 && --t.sessions > 0) {
+    return;  // inner session of a nested pair: exporters stay up
+  }
   // Server first: scrapes reference the sampler's ring.
   if (t.server != nullptr) {
     t.server->Stop();
     t.server.reset();
   }
   if (t.sampler != nullptr) {
+    // Stop() takes one final partial-window sample before closing the JSONL
+    // sink, so even a run shorter than the sampling period exports >= 1 tick.
     t.sampler->Stop();
     t.sampler.reset();
   }
-  t.started = false;
 }
 
 TimeSeriesSampler* ActiveSampler() {

@@ -74,11 +74,17 @@ struct SessionOptions {
   std::string timeseries_out;
 };
 
-// Starts the sampler and/or HTTP endpoint per env + options (idempotent;
-// the first configuration wins). Enables observability if anything starts.
+// Starts the sampler and/or HTTP endpoint per env + options. Sessions nest:
+// the first Start configures and launches the exporters (later options are
+// ignored), and each Start must be matched by a StopTelemetry — only the
+// outermost Stop actually tears the exporters down. Enables observability
+// if anything starts.
 void StartTelemetry(const SessionOptions& options = {});
 
-// Stops the live exporters (final sampler tick included). Idempotent.
+// Closes one telemetry session. The outermost Stop shuts the exporters down
+// — the sampler takes a final partial-window tick first, so even a run
+// shorter than the sampling period exports at least one JSONL sample.
+// Extra Stops with no session open are no-ops.
 void StopTelemetry();
 
 // The live exporters, when running (nullptr otherwise). Owned by the obs

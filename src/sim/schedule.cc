@@ -1,6 +1,7 @@
 #include "src/sim/schedule.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/util/check.h"
 #include "src/util/strings.h"
@@ -97,6 +98,29 @@ std::string ScheduleSpec::ToString() const {
                              pct_change_points);
   }
   return "?";
+}
+
+bool ParseScheduleSpec(const std::string& s, ScheduleSpec* out) {
+  *out = ScheduleSpec();
+  if (s == "default") {
+    return true;
+  }
+  if (s.rfind("random:", 0) == 0) {
+    out->kind = ScheduleKind::kRandom;
+    out->seed = std::strtoull(s.c_str() + 7, nullptr, 10);
+    return true;
+  }
+  if (s.rfind("pct:", 0) == 0) {
+    out->kind = ScheduleKind::kPct;
+    char* end = nullptr;
+    out->seed = std::strtoull(s.c_str() + 4, &end, 10);
+    if (end != nullptr && *end == '/') {
+      out->pct_change_points =
+          static_cast<uint32_t>(std::strtoul(end + 1, nullptr, 10));
+    }
+    return true;
+  }
+  return false;
 }
 
 std::unique_ptr<SchedulePolicy> MakeSchedulePolicy(const ScheduleSpec& spec) {

@@ -98,6 +98,12 @@ struct ScheduleSpec {
 
 const char* ScheduleKindName(ScheduleKind kind);
 
+// Parses the ScheduleSpec::ToString() forms: "default", "random:7",
+// "pct:7/8". Returns false (leaving *out default-initialized) on anything
+// else. Shared by every frontend that accepts --schedule flags or grid-axis
+// values (check_artc, artc_sweep).
+bool ParseScheduleSpec(const std::string& s, ScheduleSpec* out);
+
 // Builds the policy for a spec; kDefault yields nullptr (built-in scheduler,
 // bit-identical to a simulation with no policy installed).
 std::unique_ptr<SchedulePolicy> MakeSchedulePolicy(const ScheduleSpec& spec);

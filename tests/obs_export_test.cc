@@ -19,6 +19,7 @@
 
 #include "src/obs/http_server.h"
 #include "src/obs/metrics.h"
+#include "src/obs/obs.h"
 #include "src/obs/sampler.h"
 
 namespace artc::obs {
@@ -420,6 +421,66 @@ TEST(MetricsHttpServer, TimeseriesEndpointServesRing) {
   EXPECT_NE(body.find("\"seq\":1"), std::string::npos);
   EXPECT_NE(body.find("\"ts.count\":2"), std::string::npos);
   server.Stop();
+}
+
+// A telemetry session far shorter than the sampling period still exports at
+// least one JSONL sample: StopTelemetry's final partial-window tick runs
+// before the sink closes. (Regression: short-lived harness runs used to
+// leave an empty timeseries file.)
+TEST(Telemetry, ShortSessionFlushesFinalPartialWindow) {
+  char path[] = "/tmp/artc_telemetry_test_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+
+  SessionOptions opts;
+  opts.timeseries_out = path;
+  opts.sample_period_ms = 60 * 1000;  // far longer than the session
+  StartTelemetry(opts);
+  ASSERT_NE(ActiveSampler(), nullptr);
+  DefaultRegistry().Add(DefaultRegistry().Counter("telemetry_test.count"), 7);
+  StopTelemetry();
+  EXPECT_EQ(ActiveSampler(), nullptr);
+
+  std::FILE* f = std::fopen(path, "r");
+  ASSERT_NE(f, nullptr);
+  char buf[16384];
+  size_t lines = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ASSERT_EQ(buf[0], '{');
+    lines++;
+  }
+  std::fclose(f);
+  EXPECT_GE(lines, 1u);
+  std::remove(path);
+}
+
+// Sessions nest: an inner Start/Stop pair (library code opening its own
+// session inside a harness main, like artc_sweep's drill path) must not
+// tear down the outer session's exporters.
+TEST(Telemetry, NestedSessionsKeepExportersAlive) {
+  char path[] = "/tmp/artc_telemetry_nest_XXXXXX";
+  const int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  close(fd);
+
+  SessionOptions outer;
+  outer.timeseries_out = path;
+  outer.sample_period_ms = 60 * 1000;
+  StartTelemetry(outer);
+  ASSERT_NE(ActiveSampler(), nullptr);
+
+  StartTelemetry(SessionOptions{});  // inner session: options ignored
+  StopTelemetry();                   // inner stop: exporters stay up
+  EXPECT_NE(ActiveSampler(), nullptr);
+
+  StopTelemetry();  // outer stop: now they come down
+  EXPECT_EQ(ActiveSampler(), nullptr);
+
+  // An extra Stop with no session open stays a no-op.
+  StopTelemetry();
+  EXPECT_EQ(ActiveSampler(), nullptr);
+  std::remove(path);
 }
 
 }  // namespace
