@@ -313,4 +313,12 @@ CompiledBenchmarkPtr CompileShared(const trace::Trace& t,
       Compile(t, snapshot, annotated, options));
 }
 
+CompiledBenchmarkPtr CompileShared(trace::Trace&& t,
+                                   const trace::FsSnapshot& snapshot,
+                                   const fsmodel::AnnotatedTrace& annotated,
+                                   const CompileOptions& options) {
+  return std::make_shared<const CompiledBenchmark>(
+      Compile(std::move(t), snapshot, annotated, options));
+}
+
 }  // namespace artc::core

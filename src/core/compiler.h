@@ -69,6 +69,12 @@ CompiledBenchmarkPtr CompileShared(const trace::Trace& t,
                                    const trace::FsSnapshot& snapshot,
                                    const fsmodel::AnnotatedTrace& annotated,
                                    const CompileOptions& options);
+// Consuming form: steals the event vector like Compile(Trace&&). Used for
+// the final compile of a trace that backs several shared artifacts.
+CompiledBenchmarkPtr CompileShared(trace::Trace&& t,
+                                   const trace::FsSnapshot& snapshot,
+                                   const fsmodel::AnnotatedTrace& annotated,
+                                   const CompileOptions& options);
 
 }  // namespace artc::core
 

@@ -75,8 +75,12 @@ void AppendIntField(std::string* out, const char* key, long long v,
 // The live progress plane. All names are stable (scraped by CI); per-axis
 // roll-up counters are interned on demand. The "set"-style gauges
 // (progress, ETA) are emulated on top of the registry's add-only cells by
-// tracking the last published value — correct as long as one sweep runs at
-// a time in the process, which RunSweep serializes with a mutex.
+// tracking the last published value in a shadow. The shadows are plain
+// ints, so callers must serialize access: there is ONE process-lifetime
+// instance (the registry cells it fronts are process-global too), sweeps
+// are serialized by SweepMu, and within a sweep CellFinished is only ever
+// called under RunSweep's per-sweep mutex. StartSweep runs before any
+// worker is submitted, so it needs no further locking.
 class ProgressMetrics {
  public:
   ProgressMetrics()
@@ -90,8 +94,11 @@ class ProgressMetrics {
         eta_(registry_.Gauge("sweep.eta_ms")) {}
 
   void StartSweep(size_t cells) {
+    // Shadows persist across sweeps (one instance per process), so these
+    // deltas rewind whatever the previous sweep left in the global gauges.
     SetGauge(total_, &total_shadow_, static_cast<int64_t>(cells));
     SetGauge(progress_, &progress_shadow_, 0);
+    SetGauge(eta_, &eta_shadow_, 0);
   }
 
   void CellStarted() { registry_.Add(inflight_, 1); }
@@ -148,6 +155,13 @@ std::mutex& SweepMu() {
   return *mu;
 }
 
+// The single process-lifetime instance (see the class comment). Leaked like
+// SweepMu so gauge updates stay valid during static teardown.
+ProgressMetrics& SweepProgressMetrics() {
+  static ProgressMetrics* metrics = new ProgressMetrics();
+  return *metrics;
+}
+
 }  // namespace
 
 const core::CompiledBenchmark& SweepPlan::BenchFor(
@@ -172,10 +186,16 @@ bool BuildSweepPlan(trace::Trace&& t, const trace::FsSnapshot& snapshot,
   for (const CellConfig& cell : out->cells) {
     methods.insert(cell.method);
   }
+  // The last method's compile steals the event vector; earlier ones (only
+  // present in multi-method grids) copy it.
+  size_t remaining = methods.size();
   for (const std::string& method : methods) {
     core::CompileOptions copt;
     copt.method = core::ReplayMethodFromName(method);
-    out->compiled[method] = core::CompileShared(t, snapshot, annotated, copt);
+    out->compiled[method] =
+        --remaining == 0
+            ? core::CompileShared(std::move(t), snapshot, annotated, copt)
+            : core::CompileShared(t, snapshot, annotated, copt);
   }
   obs::LogInfo("sweep", "plan built",
                {{"trace", trace_name.c_str()},
@@ -335,7 +355,7 @@ bool RunSweep(const SweepPlan& plan, const SweepOptions& options,
   out->cells = plan.cells.size();
   out->stats.resize(plan.cells.size());
 
-  ProgressMetrics metrics;
+  ProgressMetrics& metrics = SweepProgressMetrics();
   metrics.StartSweep(plan.cells.size());
   obs::LogInfo("sweep", "sweep started",
                {{"trace", plan.trace_name.c_str()},
@@ -386,11 +406,10 @@ bool RunSweep(const SweepPlan& plan, const SweepOptions& options,
     pool.Submit([&, i] {
       CellStats stats = RunOneCell(bench, plan.cells[i], i);
       const std::string row = stats.ToJsonl(options.include_host_time);
-      size_t done_now = 0;
       {
         std::lock_guard<std::mutex> lk(mu);
         --inflight;
-        done_now = ++completed;
+        ++completed;
         parked.emplace(i, row);
         emit_ready();
 
@@ -407,9 +426,11 @@ bool RunSweep(const SweepPlan& plan, const SweepOptions& options,
           out->stall_by_rule_sum[r] += stats.stall_by_rule[r];
         }
         out->stats[i] = std::move(stats);
+        // Under mu: CellFinished's gauge shadows are plain read-modify-write
+        // state, and this mutex is what serializes workers within the sweep.
+        metrics.CellFinished(out->stats[i], completed, plan.cells.size(),
+                             (HostNowUs() - sweep_t0) / 1000);
       }
-      metrics.CellFinished(out->stats[i], done_now, plan.cells.size(),
-                           (HostNowUs() - sweep_t0) / 1000);
       slot_cv.notify_all();
     });
   }

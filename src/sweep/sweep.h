@@ -40,9 +40,10 @@ struct SweepPlan {
   const core::CompiledBenchmark& BenchFor(const CellConfig& cell) const;
 };
 
-// Annotates + compiles `trace` for every method the grid mentions and
-// expands the grid. Returns false with *error set on grid validation
-// failure. The trace is consumed (moved into the compiler).
+// Annotates + compiles `t` for every method the grid mentions and expands
+// the grid. Returns false with *error set on grid validation failure. The
+// trace is consumed: the final method's compile steals its event vector,
+// leaving `t` moved-from (earlier methods, if any, compile from copies).
 bool BuildSweepPlan(trace::Trace&& t, const trace::FsSnapshot& snapshot,
                     SweepGrid grid, const std::string& trace_name,
                     SweepPlan* out, std::string* error);

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "src/check/explorer.h"
+#include "src/obs/obs.h"
 #include "src/sweep/grid.h"
 #include "src/sweep/sweep.h"
 #include "src/workloads/micro.h"
@@ -243,6 +244,31 @@ TEST(SweepTest, AggregatesAndExtremesAreConsistentWithRows) {
   // Report JSON and pager render without issue and carry the cell count.
   EXPECT_NE(report.ToJson().find("\"cells\":8"), std::string::npos);
   EXPECT_NE(report.OnePager().find("8 cells"), std::string::npos);
+}
+
+TEST(SweepTest, ProgressGaugesResetAcrossSweepsInOneProcess) {
+  // Regression: the progress gauges live in the process-global registry and
+  // survive between sweeps. Each RunSweep must rewind them to its own grid
+  // rather than accumulate on top of the previous sweep (cells_total
+  // summing both grids, progress_permille ending at 2000).
+  SweepPlan eight = BuildSmallPlan(SmallGrid());
+  SweepGrid two_grid;
+  two_grid.storage = {"hdd", "ssd"};
+  SweepPlan two = BuildSmallPlan(std::move(two_grid));
+
+  SweepReport report;
+  SweepToString(eight, 2, 0, &report);
+  std::map<std::string, int64_t> gauges =
+      obs::DefaultRegistry().Snapshot().gauges;
+  EXPECT_EQ(gauges["sweep.cells_total"], 8);
+  EXPECT_EQ(gauges["sweep.progress_permille"], 1000);
+  EXPECT_EQ(gauges["sweep.cells_inflight"], 0);
+
+  SweepToString(two, 2, 0, &report);
+  gauges = obs::DefaultRegistry().Snapshot().gauges;
+  EXPECT_EQ(gauges["sweep.cells_total"], 2);
+  EXPECT_EQ(gauges["sweep.progress_permille"], 1000);
+  EXPECT_EQ(gauges["sweep.cells_inflight"], 0);
 }
 
 TEST(SweepTest, DrillReproducesTheSweptCellExactly) {
